@@ -1,0 +1,15 @@
+"""Shared benchmark helpers: printing that bypasses pytest capture."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block to the real terminal even without -s."""
+    def emit(*blocks):
+        with capsys.disabled():
+            print()
+            for block in blocks:
+                print(block)
+                print()
+    return emit

@@ -1,0 +1,102 @@
+"""Ablation A6: distributed-memory costs over the GMI control surface.
+
+Two experiments the paper's design enables but does not measure:
+
+* DSM sharing patterns — private, read-shared, and ping-pong pages
+  have very different protocol costs under the single-writer protocol
+  built from Table 4's operations;
+* remote paging — the full distributed fault path (fault -> segment
+  manager -> network RPC -> remote mapper -> fillUp), cold vs warm.
+"""
+
+import pytest
+
+from repro.bench.tables import format_series
+from repro.dsm import make_dsm_cluster
+from repro.net import Network, RemoteMapper
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+def dsm_pattern_cost(pattern, rounds=8):
+    from repro.bench import costmodel
+    manager, sites = make_dsm_cluster(["a", "b"], segment_pages=2,
+                                      cost_model=costmodel.CHORUS_SUN360)
+    a, b = sites["a"], sites["b"]
+    start = {name: site.nucleus.clock.now() for name, site in sites.items()}
+    if pattern == "private":
+        for index in range(rounds):
+            a.write(0, bytes([index + 1]))
+    elif pattern == "read-shared":
+        a.write(0, b"\x01")
+        for _ in range(rounds):
+            a.read(0, 1)
+            b.read(0, 1)
+    elif pattern == "ping-pong":
+        for index in range(rounds):
+            (a if index % 2 == 0 else b).write(0, bytes([index + 1]))
+    total = sum(site.nucleus.clock.now() - start[name]
+                for name, site in sites.items())
+    return total / rounds, manager.stats
+
+
+def test_dsm_sharing_patterns(benchmark, report):
+    rows = []
+    stats_by_pattern = {}
+    for pattern in ("private", "read-shared", "ping-pong"):
+        per_round, stats = dsm_pattern_cost(pattern)
+        stats_by_pattern[pattern] = stats
+        rows.append((pattern, round(per_round, 3),
+                     stats["write_grants"], stats["invalidations"],
+                     stats["owner_syncs"]))
+    benchmark(dsm_pattern_cost, "private", 2)
+    report(format_series(
+        "A6a: DSM cost per round by sharing pattern (2 sites)",
+        ("pattern", "ms/round", "write grants", "invalidations",
+         "owner syncs"), rows))
+
+    costs = {row[0]: row[1] for row in rows}
+    # Private pages cost nothing once owned; ping-pong pays the
+    # protocol every round.
+    assert costs["private"] < costs["ping-pong"] / 5
+    assert stats_by_pattern["private"]["write_grants"] == 1
+    assert stats_by_pattern["ping-pong"]["owner_syncs"] >= 7
+    # Read sharing settles after the initial faults.
+    assert stats_by_pattern["read-shared"]["invalidations"] <= 1
+
+
+def test_remote_paging_cold_vs_warm(benchmark, report):
+    network = Network(latency_ms=5.0)
+    server = Nucleus(memory_size=4 * MB)
+    client = Nucleus(memory_size=4 * MB)
+    network.register("server", server)
+    network.register("client", client)
+    mapper = MemoryMapper(port="files")
+    server.register_mapper(mapper)
+    client.register_mapper(RemoteMapper(network, "client", "server",
+                                        "files"))
+    cap = mapper.register(b"remote page" + bytes(4 * PAGE))
+    actor = client.create_actor()
+    client.rgn_map(actor, cap, 4 * PAGE, address=0x40000)
+
+    def touch_all():
+        start = client.clock.now()
+        for index in range(4):
+            actor.read(0x40000 + index * PAGE, 1)
+        return client.clock.now() - start
+
+    cold = touch_all()
+    warm = touch_all()
+    benchmark(touch_all)
+    report(format_series(
+        "A6b: remote paging, 4 pages over a 5 ms-latency network",
+        ("phase", "virtual ms"),
+        [("cold (faults cross network)", round(cold, 2)),
+         ("warm (resident)", round(warm, 2))]))
+    # Each cold fault pays >= 2x network latency; warm pays none.
+    assert cold >= 4 * 2 * 5.0
+    assert warm == pytest.approx(0.0)
+    assert network.messages == 8          # 4 requests + 4 replies

@@ -1,0 +1,109 @@
+"""Ablation A1: history objects vs shadow objects under fork patterns.
+
+Section 4.2.5's comparison, made quantitative: under the shell pattern
+(long-lived parent, short-lived children) shadow chains grow with the
+fork count unless a merge GC runs, while history trees keep the
+parent's lookup path flat by construction.  The inverse pattern
+(fork-exit chains) is the one case where the history side accumulates
+nodes — bounded by its collapse GC.
+"""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.bench.tables import format_series
+from repro.kernel.clock import CostEvent
+from repro.mach.mach_vm import MachVirtualMemory
+from repro.nucleus.nucleus import Nucleus
+from repro.workloads.fork_workload import fork_exit_chain, shell_pipeline
+
+GENERATIONS = (2, 4, 8, 16)
+
+
+def mach_nucleus(auto_merge):
+    return Nucleus(vm_class=MachVirtualMemory,
+                   cost_model=costmodel.MACH_SUN360.with_overrides(
+                       # price the GC explicitly for this ablation
+                       {CostEvent.SHADOW_MERGE_PAGE: 0.10}),
+                   auto_merge=auto_merge)
+
+
+def test_shell_pattern_chain_growth(benchmark, report):
+    rows = []
+    for generations in GENERATIONS:
+        chorus = shell_pipeline(costmodel.chorus_nucleus(), generations)
+        mach_nogc = shell_pipeline(mach_nucleus(auto_merge=False),
+                                   generations)
+        mach_gc = shell_pipeline(mach_nucleus(auto_merge=True), generations)
+        rows.append((generations,
+                     chorus.final_chain_depth,
+                     mach_nogc.final_chain_depth,
+                     mach_gc.final_chain_depth,
+                     mach_gc.merge_pages,
+                     round(chorus.virtual_ms, 2),
+                     round(mach_nogc.virtual_ms, 2),
+                     round(mach_gc.virtual_ms, 2)))
+    benchmark(shell_pipeline, costmodel.chorus_nucleus(), 8)
+    report(format_series(
+        "A1a: shell pattern (parent forks short-lived children, "
+        "modifying data between forks)",
+        ("forks", "depth:history", "depth:shadow", "depth:shadow+GC",
+         "GC pages", "ms:history", "ms:shadow", "ms:shadow+GC"),
+        rows))
+
+    last = rows[-1]
+    # History trees: the parent's lookup chain stays flat, forever.
+    assert last[1] == 0
+    # Shadow chains without GC grow linearly with the fork count.
+    assert last[2] == GENERATIONS[-1]
+    # The GC flattens chains but pays page traffic to do it.
+    assert last[3] <= 1
+    assert last[4] > 0
+    # History objects end up cheaper than either Mach variant.
+    assert last[5] < last[6] and last[5] < last[7]
+
+
+def test_shadow_lookup_cost_grows_with_depth(benchmark, report):
+    """The measurable symptom of chains: deep-page reads pay one hop
+    per chain link."""
+    rows = []
+    for generations in GENERATIONS:
+        nucleus = mach_nucleus(auto_merge=False)
+        before = nucleus.clock.count(CostEvent.SHADOW_LOOKUP)
+        metrics = shell_pipeline(nucleus, generations)
+        # Read a page the parent never modified: it lives at the bottom.
+        parent = next(cache for cache in nucleus.vm.caches()
+                      if cache.name == "shell-data")
+        mark = nucleus.clock.count(CostEvent.SHADOW_LOOKUP)
+        nucleus.vm.cache_read(parent, 7 * nucleus.vm.page_size, 8)
+        hops = nucleus.clock.count(CostEvent.SHADOW_LOOKUP) - mark
+        rows.append((generations, metrics.final_chain_depth, hops))
+    benchmark(lambda: None)
+    report(format_series(
+        "A1b: cost of one cold read of an unmodified page (shadow, no GC)",
+        ("forks", "chain depth", "lookup hops"), rows))
+    depths = [row[1] for row in rows]
+    hops = [row[2] for row in rows]
+    assert depths == sorted(depths) and depths[-1] > depths[0]
+    assert hops[-1] >= depths[-1]
+
+
+def test_fork_exit_chain_needs_history_collapse(benchmark, report):
+    """The history side's own pathology and its GC."""
+    rows = []
+    for generations in GENERATIONS:
+        plain = fork_exit_chain(costmodel.chorus_nucleus(), generations,
+                                collapse=False)
+        collapsed = fork_exit_chain(costmodel.chorus_nucleus(), generations,
+                                    collapse=True)
+        rows.append((generations,
+                     plain.final_chain_depth, collapsed.final_chain_depth,
+                     collapsed.merge_pages))
+    benchmark(fork_exit_chain, costmodel.chorus_nucleus(), 4)
+    report(format_series(
+        "A1c: fork-exit chains (the paper's 'exceptional' case) with and "
+        "without the history collapse GC",
+        ("generations", "depth: no GC", "depth: collapse GC", "GC pages"),
+        rows))
+    assert rows[-1][1] >= GENERATIONS[-1] // 2    # grows without GC
+    assert rows[-1][2] <= 1                        # flat with GC

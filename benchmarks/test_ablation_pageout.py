@@ -1,0 +1,96 @@
+"""Ablation A5: paging behaviour as the working set exceeds RAM.
+
+Not a paper table, but the design choice it prices: the PVM's
+management structures scale with *resident* memory (section 4.1), and
+its pageout policy (second-chance) degrades gracefully.  We sweep the
+working-set : RAM ratio and report fault and push-out rates.
+"""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.bench.tables import format_series
+from repro.kernel.clock import ClockRegion, CostEvent
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+RAM_PAGES = 64                          # 512 KB of simulated RAM
+
+
+def run_working_set(ws_pages, sweeps=3):
+    nucleus = costmodel.chorus_nucleus(memory_size=RAM_PAGES * PAGE)
+    actor = nucleus.create_actor()
+    nucleus.rgn_allocate(actor, ws_pages * PAGE, address=0x100000)
+    clock = nucleus.clock
+    # Populate once (cold), then sweep sequentially.
+    for index in range(ws_pages):
+        actor.write(0x100000 + index * PAGE, bytes([index % 251 + 1]))
+    before = clock.snapshot()
+    with ClockRegion(clock) as timer:
+        for _ in range(sweeps):
+            for index in range(ws_pages):
+                assert actor.read(0x100000 + index * PAGE, 1) == \
+                    bytes([index % 251 + 1])
+    after = clock.snapshot()
+    deltas = {key: after.get(key, 0) - before.get(key, 0) for key in after}
+    accesses = sweeps * ws_pages
+    return {
+        "ws_pages": ws_pages,
+        "ratio": ws_pages / RAM_PAGES,
+        "ms_per_access": timer.elapsed / accesses,
+        "faults_per_access": deltas.get("fault_dispatch", 0) / accesses,
+        "pushouts": deltas.get("push_out", 0),
+        "resident": nucleus.vm.resident_page_count,
+    }
+
+
+def test_thrash_curve(benchmark, report):
+    ratios = (16, 32, 48, 64, 96, 128)           # pages; RAM = 64
+    rows = []
+    for ws_pages in ratios:
+        result = run_working_set(ws_pages)
+        rows.append((
+            ws_pages, f"{result['ratio']:.2f}",
+            round(result["ms_per_access"], 4),
+            round(result["faults_per_access"], 3),
+            result["pushouts"],
+        ))
+    benchmark(run_working_set, 32, 1)
+    report(format_series(
+        "A5: sequential sweeps vs working-set/RAM ratio (64-page RAM)",
+        ("WS pages", "WS/RAM", "ms/access", "faults/access", "pushouts"),
+        rows))
+
+    results = {row[0]: row for row in rows}
+    # Fits in RAM: zero faults during the sweeps.
+    assert results[16][3] == 0.0
+    assert results[48][3] == 0.0
+    # Past RAM: sequential sweeps against a FIFO-ish policy miss hard.
+    assert results[96][3] > 0.5
+    # Cost cliff between fitting and thrashing exceeds an order of
+    # magnitude per access.
+    assert results[128][2] > 10 * max(results[16][2], 0.0001)
+
+
+def test_residency_never_exceeds_ram(benchmark):
+    result = benchmark(run_working_set, 128, 1)
+    assert result["resident"] <= RAM_PAGES
+
+
+def test_dirty_pages_written_back_not_lost(benchmark):
+    """Under thrash, every dirtied page survives its evictions."""
+
+    def run():
+        nucleus = costmodel.chorus_nucleus(memory_size=RAM_PAGES * PAGE)
+        actor = nucleus.create_actor()
+        pages = 2 * RAM_PAGES
+        nucleus.rgn_allocate(actor, pages * PAGE, address=0x100000)
+        for index in range(pages):
+            actor.write(0x100000 + index * PAGE, bytes([index % 199 + 1]) * 8)
+        for index in range(pages):
+            assert actor.read(0x100000 + index * PAGE, 8) == \
+                bytes([index % 199 + 1]) * 8
+        return nucleus.clock.count(CostEvent.PUSH_OUT)
+
+    pushouts = benchmark(run)
+    assert pushouts > 0

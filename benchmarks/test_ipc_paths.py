@@ -1,0 +1,74 @@
+"""Experiment I1: the two IPC data paths (section 5.1.6).
+
+Message-size sweep across the bcopy (inline) and transit-segment
+(per-page deferred copy + move) paths, plus the region-invariance
+property the section leads with.
+"""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.bench.tables import format_series
+from repro.errors import IpcError
+from repro.units import IPC_MESSAGE_LIMIT, KB
+from repro.workloads.ipc_workload import message_sweep
+
+PAGE = 8 * KB
+SIZES = (128, 1024, 4096, PAGE, 2 * PAGE, 4 * PAGE, 8 * PAGE)
+
+
+def test_message_size_sweep(benchmark, report):
+    nucleus = costmodel.chorus_nucleus()
+    points = message_sweep(nucleus, list(SIZES))
+    benchmark(message_sweep, costmodel.chorus_nucleus(), [PAGE], 2)
+    report(format_series(
+        "I1: IPC cost by message size (send + receive, virtual ms)",
+        ("bytes", "path", "ms/msg", "stubs/msg"),
+        [(point.size, point.path, round(point.virtual_ms_per_msg, 3),
+          point.stubs_per_msg) for point in points]))
+
+    by_size = {point.size: point for point in points}
+    # Small messages take the bcopy path; page-aligned ones the
+    # transit path with per-page stubs.
+    assert by_size[128].path == "bcopy"
+    assert by_size[PAGE].path == "transit"
+    assert by_size[PAGE].stubs_per_msg == 1
+    assert by_size[4 * PAGE].stubs_per_msg == 4
+    # The transit path's cost grows sub-linearly vs raw copying: moving
+    # 8 pages costs far less than 8 bcopies (2 x 1.4 ms each way).
+    assert by_size[8 * PAGE].virtual_ms_per_msg < 8 * 2 * 1.4
+
+
+def test_message_limit_enforced(benchmark):
+    nucleus = costmodel.chorus_nucleus()
+    nucleus.ipc.create_port("limit")
+
+    def attempt():
+        try:
+            nucleus.ipc.send("limit", data=bytes(IPC_MESSAGE_LIMIT + 1))
+            return False
+        except IpcError:
+            return True
+
+    assert benchmark(attempt)
+
+
+def test_ipc_region_invariance(benchmark):
+    """IPC never creates, destroys, or resizes regions (5.1.6)."""
+    nucleus = costmodel.chorus_nucleus()
+    actor = nucleus.create_actor()
+    nucleus.rgn_allocate(actor, 4 * PAGE, address=0x100000)
+    actor.write(0x100000, b"payload")
+    cache = actor.mappings[0].cache
+    nucleus.ipc.create_port("p")
+
+    def roundtrip():
+        before = [(region.address, region.size)
+                  for region in actor.context.get_region_list()]
+        nucleus.ipc.send("p", src_cache=cache, src_offset=0, size=PAGE)
+        nucleus.ipc.receive("p")
+        after = [(region.address, region.size)
+                 for region in actor.context.get_region_list()]
+        return before == after
+
+    assert benchmark(roundtrip)

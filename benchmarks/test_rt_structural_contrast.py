@@ -1,0 +1,72 @@
+"""Structural contrast: PVM vs the minimal real-time MM.
+
+The paper's Table 6 headline for the PVM is region-size *independence*
+of create/destroy; the minimal MM deliberately inverts this (creation
+populates everything).  This bench draws both curves, quantifying
+exactly what each design buys: O(1) creation vs zero-fault access.
+"""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.bench.tables import format_series
+from repro.kernel.clock import ClockRegion
+from repro.minimal import RealTimeVirtualMemory
+from repro.nucleus.nucleus import Nucleus
+from repro.units import KB
+
+PAGE = 8 * KB
+SIZES_PAGES = (1, 8, 32, 128)
+
+
+def create_destroy_cost(vm_class, pages):
+    nucleus = Nucleus(vm_class=vm_class,
+                      cost_model=costmodel.CHORUS_SUN360,
+                      memory_size=max(2 * pages, 256) * PAGE)
+    actor = nucleus.create_actor()
+    with ClockRegion(nucleus.clock) as timer:
+        region = nucleus.rgn_allocate(actor, pages * PAGE,
+                                      address=0x100000)
+        nucleus.rgn_free(actor, region)
+    return timer.elapsed
+
+
+def full_access_cost(vm_class, pages):
+    nucleus = Nucleus(vm_class=vm_class,
+                      cost_model=costmodel.CHORUS_SUN360,
+                      memory_size=max(2 * pages, 256) * PAGE)
+    actor = nucleus.create_actor()
+    region = nucleus.rgn_allocate(actor, pages * PAGE, address=0x100000)
+    with ClockRegion(nucleus.clock) as timer:
+        for index in range(pages):
+            actor.write(0x100000 + index * PAGE, b"\x01")
+    return timer.elapsed
+
+
+def test_creation_vs_access_curves(benchmark, report):
+    from repro import PagedVirtualMemory
+    rows = []
+    data = {}
+    for pages in SIZES_PAGES:
+        row = [pages]
+        for vm_class in (PagedVirtualMemory, RealTimeVirtualMemory):
+            create = create_destroy_cost(vm_class, pages)
+            access = full_access_cost(vm_class, pages)
+            data[(vm_class.name, pages)] = (create, access)
+            row.extend([round(create, 2), round(access, 2)])
+        rows.append(tuple(row))
+    benchmark(create_destroy_cost, RealTimeVirtualMemory, 8)
+    report(format_series(
+        "B1: create/destroy and full-touch cost by region size (virtual ms)",
+        ("pages", "pvm create", "pvm touch", "rt create", "rt touch"),
+        rows))
+
+    # PVM: creation ~O(1) in size...
+    assert data[("pvm", 128)][0] < 3 * data[("pvm", 1)][0]
+    # ...but access pays the demand-fill.
+    assert data[("pvm", 128)][1] > 100
+    # RT: creation is O(pages)...
+    assert data[("minimal-rt", 128)][0] > \
+        20 * data[("minimal-rt", 1)][0]
+    # ...and access afterwards is free of faults.
+    assert data[("minimal-rt", 128)][1] == pytest.approx(0.0)

@@ -1,0 +1,64 @@
+"""Table 6: performance of zero-filled memory allocation.
+
+Regenerates both halves of the paper's Table 6 (Chorus and Mach) on
+the simulated substrate and checks the shapes the paper claims:
+Chorus beats Mach cell-for-cell, and region create/destroy cost is
+practically independent of region size.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_zero_fill_cell, zero_fill_table
+from repro.bench.paper_values import PAPER_TABLE6_CHORUS, PAPER_TABLE6_MACH
+from repro.bench.tables import format_grid, shape_check_faster
+
+
+@pytest.fixture(scope="module")
+def grids():
+    return zero_fill_table("chorus"), zero_fill_table("mach")
+
+
+def test_table6_grids(benchmark, grids, report):
+    chorus, mach = grids
+    benchmark(run_zero_fill_cell, "chorus", 1024, 32)
+    report(
+        format_grid("Table 6 / Chorus: zero-filled memory allocation "
+                    "(virtual ms, paper in parens)", chorus,
+                    PAPER_TABLE6_CHORUS),
+        format_grid("Table 6 / Mach: zero-filled memory allocation",
+                    mach, PAPER_TABLE6_MACH),
+    )
+    # Shape 1: Chorus is faster in every cell.
+    assert shape_check_faster(chorus, mach) == []
+    # Shape 2: create/destroy nearly size-independent for Chorus
+    # ("the difference ... is only 10%").
+    assert chorus[(1024, 0)] / chorus[(8, 0)] < 1.2
+    # Shape 3: once pages are touched, cost is linear in touched pages,
+    # not in region size.
+    assert chorus[(1024, 32)] == pytest.approx(chorus[(256, 32)], rel=0.01)
+    # Quantitative: within 15% of the paper in every cell.
+    for cell, value in chorus.items():
+        assert value == pytest.approx(PAPER_TABLE6_CHORUS[cell], rel=0.15)
+    for cell, value in mach.items():
+        assert value == pytest.approx(PAPER_TABLE6_MACH[cell], rel=0.15)
+
+
+def test_zero_fill_event_stream(benchmark):
+    """The per-cell cost comes from real mechanism events: exactly one
+    fault + frame + bzero + map per touched page."""
+    from repro.bench import costmodel
+    from repro.kernel.clock import CostEvent
+
+    def run():
+        nucleus = costmodel.chorus_nucleus()
+        actor = nucleus.create_actor()
+        region = nucleus.rgn_allocate(actor, 256 * 1024, address=0x100000)
+        for index in range(32):
+            actor.write(0x100000 + index * 8192, b"\x01")
+        nucleus.rgn_free(actor, region)
+        return nucleus
+
+    nucleus = benchmark(run)
+    assert nucleus.clock.count(CostEvent.FAULT_DISPATCH) == 32
+    assert nucleus.clock.count(CostEvent.BZERO_PAGE) == 32
+    assert nucleus.clock.count(CostEvent.BCOPY_PAGE) == 0

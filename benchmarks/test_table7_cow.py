@@ -1,0 +1,112 @@
+"""Table 7: performance of copy-on-write.
+
+Regenerates both halves of the paper's Table 7 — history objects
+(Chorus) against shadow objects (Mach) — and checks the claimed
+shapes: Chorus wins everywhere, the deferred-copy setup is cheap and
+nearly size-independent, and the per-page COW cost dominates at large
+dirty counts.
+"""
+
+import pytest
+
+from repro.bench.experiments import cow_table, run_cow_cell
+from repro.bench.paper_values import PAPER_TABLE7_CHORUS, PAPER_TABLE7_MACH
+from repro.bench.tables import format_grid, shape_check_faster
+
+
+@pytest.fixture(scope="module")
+def grids():
+    return cow_table("chorus"), cow_table("mach")
+
+
+def test_table7_grids(benchmark, grids, report):
+    chorus, mach = grids
+    benchmark(run_cow_cell, "chorus", 256, 32)
+    report(
+        format_grid("Table 7 / Chorus: copy-on-write via history objects "
+                    "(virtual ms, paper in parens)", chorus,
+                    PAPER_TABLE7_CHORUS),
+        format_grid("Table 7 / Mach: copy-on-write via shadow objects",
+                    mach, PAPER_TABLE7_MACH),
+    )
+    # Shape 1: history objects beat shadow objects in every cell.
+    assert shape_check_faster(chorus, mach) == []
+    # Shape 2: a full deferred copy of 1 MB costs a few ms, vs the
+    # ~180 ms an eager copy of 128 pages would (128 x 1.4).
+    assert chorus[(1024, 0)] < 5.0
+    # Shape 3: cost at high dirty counts is dominated by the real
+    # copies, with ~(0.31 + 1.4) ms per dirtied page.
+    per_page = (chorus[(1024, 128)] - chorus[(1024, 0)]) / 128
+    assert per_page == pytest.approx(1.71, rel=0.05)
+    # Quantitative: within 30% of the paper everywhere (the paper's
+    # own (256,0)/(8,1) cells are internally inconsistent with its
+    # 5.3.2 derivation; see EXPERIMENTS.md), within 15% on the
+    # dirty-page cells that define the result.
+    for cell, value in chorus.items():
+        assert value == pytest.approx(PAPER_TABLE7_CHORUS[cell], rel=0.30)
+        if cell[1] >= 32:
+            assert value == pytest.approx(PAPER_TABLE7_CHORUS[cell],
+                                          rel=0.15)
+    for cell, value in mach.items():
+        assert value == pytest.approx(PAPER_TABLE7_MACH[cell], rel=0.30)
+
+
+def test_cow_event_stream(benchmark):
+    """Forced copies generate exactly one pre-image push per dirtied
+    source page: fault + tree hop + frame + bcopy + re-map."""
+    from repro.bench import costmodel
+    from repro.kernel.clock import ClockRegion, CostEvent
+    from repro.gmi.types import Protection
+
+    def run():
+        nucleus = costmodel.chorus_nucleus()
+        actor = nucleus.create_actor()
+        nucleus.rgn_allocate(actor, 256 * 1024, address=0x200000)
+        for index in range(32):
+            actor.write(0x200000 + index * 8192, b"\x01")
+        clock = nucleus.clock
+        before = clock.snapshot()
+        copy_region = nucleus.rgn_init_from_actor(
+            actor, actor, 0x200000, address=0x100000,
+            protection=Protection.RW)
+        for index in range(32):
+            actor.write(0x200000 + index * 8192, b"\xFF")
+        after = clock.snapshot()
+        return {key: after.get(key, 0) - before.get(key, 0)
+                for key in after}
+
+    deltas = benchmark(run)
+    assert deltas.get("history_tree_setup") == 1
+    assert deltas.get("page_protect") == 32       # source write-protected
+    assert deltas.get("bcopy_page") == 32         # one pre-image per page
+    assert deltas.get("fault_dispatch") == 32
+    assert deltas.get("shadow_create", 0) == 0
+
+
+def test_eager_baseline_for_scale(benchmark, report):
+    """What deferral buys: the same 1 MB copy done eagerly."""
+    from repro.bench import costmodel
+    from repro.kernel.clock import ClockRegion
+    from repro.mach.eager import EagerVirtualMemory
+    from repro.nucleus.nucleus import Nucleus
+
+    def run():
+        nucleus = Nucleus(vm_class=EagerVirtualMemory,
+                          cost_model=costmodel.CHORUS_SUN360)
+        actor = nucleus.create_actor()
+        nucleus.rgn_allocate(actor, 1024 * 1024, address=0x200000)
+        for index in range(128):
+            actor.write(0x200000 + index * 8192, b"\x01")
+        with ClockRegion(nucleus.clock) as timer:
+            region = nucleus.rgn_init_from_actor(actor, actor, 0x200000,
+                                                 address=0x100000)
+            nucleus.rgn_free(actor, region)
+        return timer.elapsed
+
+    eager_ms = benchmark(run)
+    chorus_ms = run_cow_cell("chorus", 1024, 0)
+    report(f"1 MB copy, nothing dirtied afterwards: "
+           f"eager = {eager_ms:.1f} ms, history objects = {chorus_ms:.1f} ms "
+           f"({eager_ms / chorus_ms:.0f}x)")
+    # Deferral wins by well over an order of magnitude.
+    assert eager_ms > 20 * chorus_ms

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Write your own pager: an encrypting swap provider in ~25 lines.
+
+Companion to docs/TUTORIAL.md.  Demonstrates that data-management
+policy is fully external to the memory manager: evicted pages leave
+the PVM only through your `pushOut`, so encrypting backing store is a
+provider, not a kernel patch.  Verifies at-rest ciphertext and
+byte-perfect recovery under real memory pressure.
+
+Run:  python examples/custom_pager.py
+"""
+
+from repro import PagedVirtualMemory, Protection, SegmentProvider
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class EncryptingProvider(SegmentProvider):
+    """XOR-"encrypts" pages at rest (use a real cipher in real life)."""
+
+    def __init__(self, key: bytes):
+        self.key = key
+        self.store = {}
+
+    def _xor(self, data: bytes) -> bytes:
+        key = self.key
+        return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+
+    def pull_in(self, cache, offset, size, access_mode):
+        blob = self.store.get(offset)
+        if blob is None:
+            cache.fill_zero(offset, size)
+        else:
+            cache.fill_up(offset, self._xor(blob)[:size])
+
+    def push_out(self, cache, offset, size):
+        self.store[offset] = self._xor(cache.copy_back(offset, size))
+
+    def segment_create(self, cache):
+        return "vault"
+
+
+def main():
+    # 10 frames of RAM, a 20-page working set: eviction is guaranteed.
+    vm = PagedVirtualMemory(memory_size=10 * PAGE)
+    provider = EncryptingProvider(key=b"correct horse battery staple")
+    cache = vm.cache_create(provider)
+    ctx = vm.context_create()
+    ctx.region_create(0x100000, 20 * PAGE, Protection.RW, cache, 0)
+
+    secrets = {}
+    for index in range(20):
+        message = f"secret record {index:02d}".encode()
+        secrets[index] = message
+        vm.user_write(ctx, 0x100000 + index * PAGE, message)
+
+    print(f"pages pushed to the vault: {len(provider.store)}")
+    sample_offset, sample_blob = next(iter(provider.store.items()))
+    print(f"at rest (offset {sample_offset:#x}): {sample_blob[:17]!r}")
+    plaintext_at_rest = any(
+        b"secret" in blob for blob in provider.store.values())
+    print(f"plaintext visible at rest: {plaintext_at_rest}")
+    assert not plaintext_at_rest
+
+    mismatches = 0
+    for index, message in secrets.items():
+        data = vm.user_read(ctx, 0x100000 + index * PAGE, len(message))
+        mismatches += data != message
+    print(f"records recovered through faults: {20 - mismatches}/20")
+    assert mismatches == 0
+    print("\nthe memory manager never saw a key — policy stayed outside,")
+    print("exactly the GMI's Table 3 design.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The GMI's real-time corner: the minimal memory manager (section 5.2).
+
+"A minimal implementation, suited for embedded real-time systems and
+small hardware configurations."  Same interface, opposite policies:
+all memory is resolved at region creation, so no access ever faults
+and MMU mappings never change — the jitter-free guarantee a real-time
+executive needs.  The exact same application code runs on the PVM
+(throughput-friendly) and on the minimal MM (latency-friendly); only
+the constructor changes.
+
+Run:  python examples/realtime_embedded.py
+"""
+
+from repro import Nucleus, PagedVirtualMemory, RealTimeVirtualMemory
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+def control_loop(nucleus, iterations=64):
+    """An 'embedded control task': fixed buffers, periodic updates."""
+    actor = nucleus.create_actor("controller")
+    sensors = nucleus.rgn_allocate(actor, 4 * PAGE, address=0x100000)
+    actuators = nucleus.rgn_allocate(actor, 2 * PAGE, address=0x200000)
+    faults_at_start = nucleus.vm.bus.stats.get("faults")
+    worst_case = 0.0
+    for tick in range(iterations):
+        before = nucleus.clock.now()
+        reading = actor.read(0x100000 + (tick % 4) * PAGE, 8)
+        actor.write(0x200000, bytes([tick % 251]) * 8)
+        worst_case = max(worst_case, nucleus.clock.now() - before)
+    faults = nucleus.vm.bus.stats.get("faults") - faults_at_start
+    return faults, worst_case
+
+
+def main():
+    from repro.bench import costmodel
+
+    print("same application, two memory managers:\n")
+    for vm_class in (PagedVirtualMemory, RealTimeVirtualMemory):
+        nucleus = Nucleus(vm_class=vm_class, memory_size=2 * MB,
+                          cost_model=costmodel.CHORUS_SUN360)
+        faults, worst = control_loop(nucleus)
+        print(f"  {vm_class.name:12s}  faults during loop: {faults:2d}   "
+              f"worst-case tick: {worst:.3f} ms")
+
+    print(
+        "\nThe PVM demand-pages (first touches fault; later, eviction\n"
+        "could add jitter); the minimal MM resolved everything at\n"
+        "regionCreate, so the loop body is deterministic — the paper's\n"
+        "lockInMemory guarantee made the default for every region."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables in one command.
+
+Prints Tables 6 and 7 (Chorus/PVM vs Mach/shadow-objects, virtual
+milliseconds under the Sun-3/60 cost model, paper values in
+parentheses), the section 5.3.2 derived metrics, and the Table 5
+component-size analogue.
+
+Run:  python examples/reproduce_tables.py
+"""
+
+from repro.bench.experiments import (
+    cow_table, derived_metrics, zero_fill_table,
+)
+from repro.bench.loc import component_sizes
+from repro.bench.paper_values import (
+    PAPER_DERIVED, PAPER_TABLE6_CHORUS, PAPER_TABLE6_MACH,
+    PAPER_TABLE7_CHORUS, PAPER_TABLE7_MACH,
+)
+from repro.bench.tables import format_grid, format_series
+
+
+def main():
+    print("Regenerating Table 6 (zero-filled memory allocation)...\n")
+    chorus6 = zero_fill_table("chorus")
+    mach6 = zero_fill_table("mach")
+    print(format_grid("Chorus: zero-filled memory allocation",
+                      chorus6, PAPER_TABLE6_CHORUS))
+    print()
+    print(format_grid("Mach: zero-filled memory allocation",
+                      mach6, PAPER_TABLE6_MACH))
+
+    print("\nRegenerating Table 7 (copy-on-write)...\n")
+    chorus7 = cow_table("chorus")
+    mach7 = cow_table("mach")
+    print(format_grid("Chorus: copy-on-write (history objects)",
+                      chorus7, PAPER_TABLE7_CHORUS))
+    print()
+    print(format_grid("Mach: copy-on-write (shadow objects)",
+                      mach7, PAPER_TABLE7_MACH))
+
+    print("\nSection 5.3.2 derived metrics:\n")
+    metrics = derived_metrics(chorus6, chorus7)
+    rows = [
+        ("zero-fill overhead / page (ms)",
+         metrics["zero_fill_overhead_per_page_ms"],
+         PAPER_DERIVED["zero_fill_overhead_per_page_ms"]),
+        ("COW overhead / page (ms)",
+         metrics["cow_overhead_per_page_ms"],
+         PAPER_DERIVED["cow_overhead_per_page_ms"]),
+        ("history-tree setup (ms)",
+         metrics["history_tree_setup_ms"],
+         PAPER_DERIVED["history_tree_setup_ms"]),
+        ("page protect / page (ms)",
+         metrics["protect_per_page_ms"],
+         PAPER_DERIVED["protect_per_page_ms"]),
+    ]
+    print(format_series("derived quantities (paper's own formulas)",
+                        ("quantity", "measured", "paper"), rows))
+
+    print("\nTable 5 analogue (this reproduction's component sizes):\n")
+    print(format_series("components", ("component", "Python lines"),
+                        component_sizes()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""History objects as O(1) snapshots: a tiny copy-on-write database.
+
+The paper built history objects for Unix fork, but the mechanism is a
+general constant-time snapshot primitive: `cache.copy(HISTORY)` makes
+a logical copy of a whole store without touching a byte, and later
+writes pay page-granular copy costs only for what actually changes.
+This example keeps a fixed-slot key/value store in one segment and
+uses deferred copies for:
+
+* consistent read snapshots while writers keep writing,
+* cheap point-in-time backups,
+* rollback (restore = copy the snapshot back).
+
+Run:  python examples/snapshot_database.py
+"""
+
+from repro import CopyPolicy, PagedVirtualMemory, ZeroFillProvider
+from repro.kernel.clock import CostEvent
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+SLOTS = 256                       # fixed 64-byte records
+RECORD = 64
+STORE_BYTES = SLOTS * RECORD      # 16 KB = 2 pages
+
+
+class SnapshotStore:
+    """Fixed-slot records in one segment, snapshottable in O(1)."""
+
+    def __init__(self, vm, name="db"):
+        self.vm = vm
+        self.cache = vm.cache_create(ZeroFillProvider(), name=name)
+        self._snapshots = {}
+
+    def put(self, slot: int, value: bytes) -> None:
+        record = value[:RECORD].ljust(RECORD, b"\x00")
+        self.cache.write(slot * RECORD, record)
+
+    def get(self, slot: int, cache=None) -> bytes:
+        source = cache if cache is not None else self.cache
+        return source.read(slot * RECORD, RECORD).rstrip(b"\x00")
+
+    def snapshot(self, tag: str):
+        """A consistent point-in-time copy — no data moves."""
+        snap = self.vm.cache_create(ZeroFillProvider(), name=f"snap:{tag}")
+        pages = (STORE_BYTES + PAGE - 1) // PAGE * PAGE
+        self.cache.copy(0, snap, 0, pages, policy=CopyPolicy.HISTORY)
+        self._snapshots[tag] = snap
+        return snap
+
+    def restore(self, tag: str) -> None:
+        """Roll the live store back to a snapshot."""
+        snap = self._snapshots[tag]
+        pages = (STORE_BYTES + PAGE - 1) // PAGE * PAGE
+        snap.copy(0, self.cache, 0, pages, policy=CopyPolicy.HISTORY)
+
+    def drop(self, tag: str) -> None:
+        self._snapshots.pop(tag).destroy()
+
+
+def main():
+    vm = PagedVirtualMemory(memory_size=8 * MB)
+    store = SnapshotStore(vm)
+
+    for slot in range(8):
+        store.put(slot, f"user-{slot}:v1".encode())
+
+    copies_before = vm.clock.count(CostEvent.BCOPY_PAGE)
+    nightly = store.snapshot("nightly")
+    print("snapshot cost in page copies:",
+          vm.clock.count(CostEvent.BCOPY_PAGE) - copies_before)
+
+    # Writers keep going; the snapshot stays consistent.
+    store.put(0, b"user-0:v2")
+    store.put(3, b"user-3:v2")
+    print("live   slot 0:", store.get(0))
+    print("snap   slot 0:", store.get(0, cache=nightly))
+    print("snap   slot 5:", store.get(5, cache=nightly))
+    print("page copies after 2 updates:",
+          vm.clock.count(CostEvent.BCOPY_PAGE) - copies_before,
+          "(only the dirtied page paid)")
+
+    # Oops — bad deployment. Roll back.
+    for slot in range(8):
+        store.put(slot, b"CORRUPTED")
+    store.restore("nightly")
+    print("\nafter rollback, slot 0:", store.get(0))
+    print("after rollback, slot 3:", store.get(3))
+    assert store.get(0) == b"user-0:v2" or store.get(0) == b"user-0:v1"
+
+    # The tree under the hood:
+    from repro.tools import render_cache_tree
+    print("\nthe machinery:")
+    print(render_cache_tree(store.cache))
+
+
+if __name__ == "__main__":
+    main()

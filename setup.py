@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the
+``wheel`` package (this environment is offline), via the setuptools
+develop command."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""The published numbers of Tables 6 and 7 (for side-by-side output
+and tolerance checks in EXPERIMENTS.md).  Units: milliseconds."""
+
+#: Table 6, Chorus half: (region KB, touched pages) -> ms.
+PAPER_TABLE6_CHORUS = {
+    (8, 0): 0.350, (8, 1): 1.50,
+    (256, 0): 0.352, (256, 1): 1.60, (256, 32): 36.6,
+    (1024, 0): 0.390, (1024, 1): 1.63, (1024, 32): 37.7, (1024, 128): 145.9,
+}
+
+#: Table 6, Mach half.
+PAPER_TABLE6_MACH = {
+    (8, 0): 1.57, (8, 1): 3.12,
+    (256, 0): 1.81, (256, 1): 3.19, (256, 32): 46.8,
+    (1024, 0): 1.89, (1024, 1): 3.26, (1024, 32): 47.0, (1024, 128): 180.8,
+}
+
+#: Table 7, Chorus half.
+PAPER_TABLE7_CHORUS = {
+    (8, 0): 0.4, (8, 1): 2.10,
+    (256, 0): 0.7, (256, 1): 2.47, (256, 32): 55.7,
+    (1024, 0): 2.4, (1024, 1): 4.2, (1024, 32): 57.2, (1024, 128): 221.9,
+}
+
+#: Table 7, Mach half.
+PAPER_TABLE7_MACH = {
+    (8, 0): 2.7, (8, 1): 4.82,
+    (256, 0): 2.9, (256, 1): 5.12, (256, 32): 66.4,
+    (1024, 0): 3.08, (1024, 1): 5.18, (1024, 32): 67.0, (1024, 128): 256.41,
+}
+
+#: Section 5.3.2's derived quantities.
+PAPER_DERIVED = {
+    "zero_fill_overhead_per_page_ms": 0.27,
+    "cow_overhead_per_page_ms": 0.31,
+    "history_tree_setup_ms": 0.03,
+    "protect_per_page_ms": 0.02,
+    "create_destroy_size_dependence": 0.10,   # "only 10%"
+}
+
+#: Table 5: component sizes of the original C++ implementation (lines).
+PAPER_TABLE5 = {
+    "Nucleus MM part": 1820,
+    "PVM machine-independent": 1980,
+    "PVM machine-dependent (Sun)": 790 + 150,
+    "PVM machine-dependent (PMMU)": 1120 + 30,
+    "PVM machine-dependent (iAPX 386)": 980 + 200,
+}

@@ -1,0 +1,78 @@
+"""Paper-style table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The grid of Tables 6 and 7: region sizes (KB) x touched pages.
+REGION_SIZES_KB = (8, 256, 1024)
+TOUCH_COUNTS = (0, 1, 32, 128)
+
+#: cells the paper leaves empty (cannot touch more pages than exist).
+def cell_valid(region_kb: int, pages: int, page_kb: int = 8) -> bool:
+    return pages * page_kb <= region_kb
+
+
+Grid = Dict[Tuple[int, int], float]
+
+
+def format_grid(title: str, grid: Grid,
+                reference: Optional[Grid] = None,
+                page_kb: int = 8) -> str:
+    """Render a Table 6/7-shaped grid; optionally with paper values."""
+    header = ["region"] + [
+        f"{pages * page_kb} Kb/{pages}p" for pages in TOUCH_COUNTS
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(f"{cell:>14}" for cell in header))
+    for region_kb in REGION_SIZES_KB:
+        row = [f"{region_kb} Kb"]
+        for pages in TOUCH_COUNTS:
+            if not cell_valid(region_kb, pages, page_kb):
+                row.append("-")
+                continue
+            value = grid[(region_kb, pages)]
+            cell = f"{value:.2f} ms"
+            if reference is not None:
+                cell += f" ({reference[(region_kb, pages)]:.2f})"
+            row.append(cell)
+        lines.append("  ".join(f"{cell:>14}" for cell in row))
+    if reference is not None:
+        lines.append("(measured (paper))")
+    return "\n".join(lines)
+
+
+def format_series(title: str, header: Sequence[str],
+                  rows: Sequence[Sequence]) -> str:
+    """Render a simple aligned table (ablations, derived metrics)."""
+    widths = [
+        max(len(str(header[i])),
+            max((len(_fmt(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).rjust(widths[i])
+                           for i, h in enumerate(header)))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell).rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def shape_check_faster(grid_a: Grid, grid_b: Grid,
+                       page_kb: int = 8) -> List[Tuple[int, int]]:
+    """Cells where *grid_a* is NOT faster than *grid_b* (expect none)."""
+    violations = []
+    for region_kb in REGION_SIZES_KB:
+        for pages in TOUCH_COUNTS:
+            if not cell_valid(region_kb, pages, page_kb):
+                continue
+            if grid_a[(region_kb, pages)] >= grid_b[(region_kb, pages)]:
+                violations.append((region_kb, pages))
+    return violations

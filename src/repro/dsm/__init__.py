@@ -1,0 +1,23 @@
+"""Distributed shared virtual memory over the GMI (section 3.3.3).
+
+The paper designed the cache-control half of the GMI (Table 4's
+flush / sync / invalidate / setProtection, plus the getWriteAccess
+upcall) so that an external segment manager could implement a
+Li-&-Hudak-style coherent distributed memory *above* the memory
+manager.  This package is that manager: an N-site single-writer /
+multiple-reader invalidation protocol built with nothing but the GMI
+surface.
+"""
+
+from repro.dsm.protocol import CoherenceManager, PageState, SiteProvider
+from repro.dsm.site import DsmSite, make_dsm_cluster
+from repro.dsm.remote import NetworkedDsm
+
+__all__ = [
+    "CoherenceManager",
+    "PageState",
+    "SiteProvider",
+    "DsmSite",
+    "make_dsm_cluster",
+    "NetworkedDsm",
+]

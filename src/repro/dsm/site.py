@@ -1,0 +1,60 @@
+"""DSM site assembly: one Nucleus + one shared-segment mapping each."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dsm.protocol import CoherenceManager, SiteProvider
+from repro.gmi.types import Protection
+from repro.nucleus.nucleus import Nucleus
+from repro.units import MB
+
+
+@dataclass
+class DsmSite:
+    """One participant: a site's Nucleus, actor, and local cache."""
+
+    name: str
+    nucleus: Nucleus
+    actor: object
+    cache: object
+    base: int
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read the shared segment through this site's mapping."""
+        return self.actor.read(self.base + offset, size)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write the shared segment through this site's mapping."""
+        self.actor.write(self.base + offset, data)
+
+
+def make_dsm_cluster(site_names: List[str], segment_pages: int = 4,
+                     base: int = 0x100000,
+                     memory_size: int = 4 * MB,
+                     **nucleus_kwargs) -> tuple:
+    """Build N sites sharing one coherent segment.
+
+    Returns ``(manager, {name: DsmSite})``.  Each site is a full
+    Chorus Nucleus with its own simulated hardware; only the coherence
+    manager is shared (it stands in for the mapper actor that would
+    own the segment in a real distribution).  Extra keyword arguments
+    (e.g. ``cost_model``) are forwarded to each :class:`Nucleus`.
+    """
+    sites: Dict[str, DsmSite] = {}
+    manager: CoherenceManager = None
+    for name in site_names:
+        nucleus = Nucleus(memory_size=memory_size, **nucleus_kwargs)
+        if manager is None:
+            manager = CoherenceManager(segment_pages, nucleus.vm.page_size)
+        cache = nucleus.vm.cache_create(SiteProvider(manager, name),
+                                        name=f"{name}.dsm")
+        actor = nucleus.create_actor(name)
+        actor.context.region_create(
+            base, segment_pages * nucleus.vm.page_size,
+            Protection.RW, cache, 0)
+        manager.attach(name, cache)
+        sites[name] = DsmSite(name=name, nucleus=nucleus, actor=actor,
+                              cache=cache, base=base)
+    return manager, sites

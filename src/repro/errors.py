@@ -1,0 +1,102 @@
+"""Exception hierarchy for the Chorus GMI/PVM reproduction.
+
+The GMI paper distinguishes logical errors ("assumed to have been
+checked by the upper layers of the kernel") from resource exhaustion
+and hardware exceptions.  We model all three families explicitly so
+that tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware-level exceptions (raised by the simulated MMU / bus).
+# ---------------------------------------------------------------------------
+
+class HardwareFault(ReproError):
+    """Base class for faults raised by the simulated hardware."""
+
+
+class PageFault(HardwareFault):
+    """A virtual access missed in the MMU translation tables.
+
+    Carries the faulting virtual address and the access mode, exactly
+    like the paper's "hardware page fault descriptor" (section 4.1.2).
+    """
+
+    def __init__(self, address: int, write: bool, message: str = ""):
+        self.address = address
+        self.write = write
+        super().__init__(
+            message or f"page fault at {address:#x} ({'write' if write else 'read'})"
+        )
+
+
+class ProtectionViolation(HardwareFault):
+    """An access violated the page protection (e.g. write to read-only)."""
+
+    def __init__(self, address: int, write: bool, message: str = ""):
+        self.address = address
+        self.write = write
+        super().__init__(
+            message
+            or f"protection violation at {address:#x} ({'write' if write else 'read'})"
+        )
+
+
+class BusError(HardwareFault):
+    """Access to a physical address outside the installed memory."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel-visible exceptions.
+# ---------------------------------------------------------------------------
+
+class SegmentationFault(ReproError):
+    """Raised when a fault address falls inside no region of the context.
+
+    This is the "segmentation fault" exception of section 4.1.2.
+    """
+
+    def __init__(self, address: int, context_name: str = "?"):
+        self.address = address
+        self.context_name = context_name
+        super().__init__(
+            f"segmentation fault at {address:#x} in context {context_name}"
+        )
+
+
+class AccessViolation(ReproError):
+    """An access conflicted with the region's protection attributes."""
+
+
+class ResourceExhausted(ReproError):
+    """Out of a finite simulated resource (frames, slots, table space)."""
+
+
+class OutOfFrames(ResourceExhausted):
+    """No free physical page frames remain and none can be reclaimed."""
+
+
+class InvalidOperation(ReproError):
+    """Logical misuse of an interface (bad offsets, overlapping regions...)."""
+
+
+class StaleObject(ReproError):
+    """Operation on a destroyed context, region, cache or segment."""
+
+
+class MapperError(ReproError):
+    """A segment mapper failed to serve a pullIn/pushOut request."""
+
+
+class CapabilityError(ReproError):
+    """A capability failed validation (bad key, unknown port)."""
+
+
+class IpcError(ReproError):
+    """IPC failure (message too large, dead port, ...)."""

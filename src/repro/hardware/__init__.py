@@ -1,0 +1,29 @@
+"""Simulated hardware: physical memory, MMUs, TLB, CPU bus.
+
+This package replaces the Sun-3/60 / PMMU / i386 hardware of the paper
+with byte-accurate simulated equivalents.  The PVM's machine-dependent
+layer (:mod:`repro.pvm.hw_interface`) talks only to the abstract
+:class:`~repro.hardware.mmu.MMU` interface, mirroring the paper's split
+between the (large) machine-independent and (small) machine-dependent
+PVM parts.
+"""
+
+from repro.hardware.physmem import PhysicalMemory
+from repro.hardware.mmu import MMU, Prot, FaultRecord
+from repro.hardware.paged_mmu import PagedMMU
+from repro.hardware.inverted_mmu import InvertedMMU
+from repro.hardware.segmented_mmu import SegmentedMMU
+from repro.hardware.tlb import TLB
+from repro.hardware.bus import MemoryBus
+
+__all__ = [
+    "PhysicalMemory",
+    "MMU",
+    "Prot",
+    "FaultRecord",
+    "PagedMMU",
+    "InvertedMMU",
+    "SegmentedMMU",
+    "TLB",
+    "MemoryBus",
+]

@@ -1,0 +1,224 @@
+"""Abstract MMU interface and hardware protection bits.
+
+This is the boundary that, in the real PVM, separates the
+machine-independent layer from the per-MMU machine-dependent layer
+(the part the paper says takes "about one man-month" to port).  Two
+ports are provided: :class:`~repro.hardware.paged_mmu.PagedMMU`
+(two-level table walk, Sun-3 style) and
+:class:`~repro.hardware.inverted_mmu.InvertedMMU` (hashed inverted
+table, custom-MMU style).  Both enforce identical semantics; only the
+internal organisation — and hence the walk statistics — differ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidOperation, PageFault, ProtectionViolation
+from repro.units import is_power_of_two
+
+
+class Prot(enum.IntFlag):
+    """Hardware page protection bits."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+    #: supervisor-only: user-mode access traps regardless of R/W bits.
+    SYSTEM = 8
+
+    RW = READ | WRITE
+    RX = READ | EXECUTE
+    RWX = READ | WRITE | EXECUTE
+
+    def allows(self, write: bool, supervisor: bool = True) -> bool:
+        """True when this protection permits the given access kind."""
+        if self & Prot.SYSTEM and not supervisor:
+            return False
+        if write:
+            return bool(self & Prot.WRITE)
+        return bool(self & Prot.READ)
+
+
+@dataclass
+class FaultRecord:
+    """The paper's "hardware page fault descriptor" (section 4.1.2)."""
+
+    space: int
+    address: int
+    write: bool
+    protection_violation: bool
+    #: True when the access executed in supervisor mode.
+    supervisor: bool = False
+
+    @property
+    def kind(self) -> str:
+        """Either "protection" or "translation"."""
+        return "protection" if self.protection_violation else "translation"
+
+
+@dataclass
+class Mapping:
+    """One virtual-page-to-frame translation."""
+
+    frame: int
+    prot: Prot
+
+
+class MMU:
+    """Abstract memory management unit.
+
+    An MMU manages any number of hardware *address spaces* (one per
+    context), each a partial map from virtual page number to
+    (frame, protection).  Subclasses implement the storage organisation
+    via the ``_entry`` / ``_set_entry`` / ``_del_entry`` /
+    ``_iter_space`` hooks; all semantic checks live here.
+    """
+
+    #: Human-readable port name, e.g. ``"paged"`` or ``"inverted"``.
+    port_name = "abstract"
+
+    def __init__(self, page_size: int, tlb=None):
+        if not is_power_of_two(page_size):
+            raise InvalidOperation(f"page size {page_size} not a power of two")
+        self.page_size = page_size
+        self._page_shift = page_size.bit_length() - 1
+        self._next_space = 1
+        self._live_spaces: set = set()
+        self.tlb = tlb
+
+    # -- address-space lifecycle -----------------------------------------------
+
+    def create_space(self) -> int:
+        """Create an empty hardware address space; return its id."""
+        space = self._next_space
+        self._next_space += 1
+        self._live_spaces.add(space)
+        self._init_space(space)
+        return space
+
+    def destroy_space(self, space: int) -> None:
+        """Drop every translation of *space* and invalidate it."""
+        self._check_space(space)
+        if self.tlb is not None:
+            self.tlb.flush_space(space)
+        self._drop_space(space)
+        self._live_spaces.remove(space)
+
+    def space_exists(self, space: int) -> bool:
+        """True while *space* is live."""
+        return space in self._live_spaces
+
+    def _check_space(self, space: int) -> None:
+        if space not in self._live_spaces:
+            raise InvalidOperation(f"address space {space} does not exist")
+
+    # -- mapping operations ------------------------------------------------------
+
+    def vpn(self, vaddr: int) -> int:
+        """Virtual page number of *vaddr*."""
+        return vaddr >> self._page_shift
+
+    def map(self, space: int, vaddr: int, frame: int, prot: Prot) -> None:
+        """Install a translation for the page containing *vaddr*."""
+        self._check_space(space)
+        if prot == Prot.NONE:
+            raise InvalidOperation("mapping with no access bits; use unmap")
+        vpn = self.vpn(vaddr)
+        self._set_entry(space, vpn, Mapping(frame, prot))
+        if self.tlb is not None:
+            self.tlb.invalidate(space, vpn)
+
+    def unmap(self, space: int, vaddr: int) -> bool:
+        """Remove the translation for the page of *vaddr*; True if present."""
+        self._check_space(space)
+        vpn = self.vpn(vaddr)
+        existed = self._del_entry(space, vpn)
+        if existed and self.tlb is not None:
+            self.tlb.invalidate(space, vpn)
+        return existed
+
+    def unmap_range(self, space: int, vaddr: int, size: int) -> int:
+        """Unmap every page overlapping [vaddr, vaddr+size); return count."""
+        self._check_space(space)
+        count = 0
+        end = vaddr + size
+        addr = vaddr - (vaddr % self.page_size)
+        while addr < end:
+            if self.unmap(space, addr):
+                count += 1
+            addr += self.page_size
+        return count
+
+    def protect(self, space: int, vaddr: int, prot: Prot) -> None:
+        """Change the protection of an existing translation."""
+        self._check_space(space)
+        vpn = self.vpn(vaddr)
+        mapping = self._entry(space, vpn)
+        if mapping is None:
+            raise InvalidOperation(
+                f"protect: no mapping at {vaddr:#x} in space {space}"
+            )
+        self._set_entry(space, vpn, Mapping(mapping.frame, prot))
+        if self.tlb is not None:
+            self.tlb.invalidate(space, vpn)
+
+    def lookup(self, space: int, vaddr: int) -> Optional[Mapping]:
+        """Return the mapping of the page of *vaddr*, if any (no fault)."""
+        self._check_space(space)
+        return self._entry(space, self.vpn(vaddr))
+
+    def mapped_pages(self, space: int) -> List[Tuple[int, Mapping]]:
+        """All (vpn, mapping) pairs of *space*, unordered."""
+        self._check_space(space)
+        return list(self._iter_space(space))
+
+    # -- translation ---------------------------------------------------------------
+
+    def translate(self, space: int, vaddr: int, write: bool,
+                  supervisor: bool = True) -> int:
+        """Translate *vaddr*; raise PageFault / ProtectionViolation.
+
+        Returns the physical address.  Consults the TLB first when one
+        is attached; a successful table walk refills the TLB.  A
+        user-mode (*supervisor* False) access to a SYSTEM-protected
+        page violates, whatever its R/W bits say.
+        """
+        self._check_space(space)
+        vpn = self.vpn(vaddr)
+        page_off = vaddr - (vpn << self._page_shift)
+        mapping = None
+        if self.tlb is not None:
+            mapping = self.tlb.probe(space, vpn)
+        if mapping is None:
+            mapping = self._entry(space, vpn)
+            if mapping is not None and self.tlb is not None:
+                self.tlb.fill(space, vpn, mapping)
+        if mapping is None:
+            raise PageFault(vaddr, write)
+        if not mapping.prot.allows(write, supervisor=supervisor):
+            raise ProtectionViolation(vaddr, write)
+        return mapping.frame * self.page_size + page_off
+
+    # -- storage hooks (implemented by each port) -----------------------------------
+
+    def _init_space(self, space: int) -> None:
+        raise NotImplementedError
+
+    def _drop_space(self, space: int) -> None:
+        raise NotImplementedError
+
+    def _entry(self, space: int, vpn: int) -> Optional[Mapping]:
+        raise NotImplementedError
+
+    def _set_entry(self, space: int, vpn: int, mapping: Mapping) -> None:
+        raise NotImplementedError
+
+    def _del_entry(self, space: int, vpn: int) -> bool:
+        raise NotImplementedError
+
+    def _iter_space(self, space: int) -> Iterator[Tuple[int, Mapping]]:
+        raise NotImplementedError

@@ -1,0 +1,83 @@
+"""Two-level page-table MMU port (Sun-3 / PMMU style).
+
+Virtual page numbers are split into a directory index and a table
+index; translations live in second-level tables allocated on demand.
+The walk depth is recorded per translation so the MMU-port ablation
+(benchmarks/test_ablation_mmu_ports.py) can compare organisations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.hardware.mmu import MMU, Mapping
+from repro.kernel.stats import EventCounter
+
+#: Entries per second-level table (10 bits, like a classic two-level MMU).
+TABLE_BITS = 10
+TABLE_SIZE = 1 << TABLE_BITS
+TABLE_MASK = TABLE_SIZE - 1
+
+
+class PagedMMU(MMU):
+    """Hierarchical page-table MMU: directory -> table -> entry."""
+
+    port_name = "paged"
+
+    def __init__(self, page_size: int, tlb=None):
+        super().__init__(page_size, tlb=tlb)
+        # space -> directory index -> table (vpn low bits -> Mapping)
+        self._directories: Dict[int, Dict[int, Dict[int, Mapping]]] = {}
+        self.stats = EventCounter()
+
+    # -- storage hooks ---------------------------------------------------------
+
+    def _init_space(self, space: int) -> None:
+        self._directories[space] = {}
+
+    def _drop_space(self, space: int) -> None:
+        del self._directories[space]
+
+    def _split(self, vpn: int) -> Tuple[int, int]:
+        return vpn >> TABLE_BITS, vpn & TABLE_MASK
+
+    def _entry(self, space: int, vpn: int) -> Optional[Mapping]:
+        hi, lo = self._split(vpn)
+        directory = self._directories[space]
+        self.stats.add("walk_level1")
+        table = directory.get(hi)
+        if table is None:
+            return None
+        self.stats.add("walk_level2")
+        return table.get(lo)
+
+    def _set_entry(self, space: int, vpn: int, mapping: Mapping) -> None:
+        hi, lo = self._split(vpn)
+        directory = self._directories[space]
+        table = directory.get(hi)
+        if table is None:
+            table = directory[hi] = {}
+            self.stats.add("table_alloc")
+        table[lo] = mapping
+
+    def _del_entry(self, space: int, vpn: int) -> bool:
+        hi, lo = self._split(vpn)
+        table = self._directories[space].get(hi)
+        if table is None or lo not in table:
+            return False
+        del table[lo]
+        if not table:
+            del self._directories[space][hi]
+            self.stats.add("table_free")
+        return True
+
+    def _iter_space(self, space: int) -> Iterator[Tuple[int, Mapping]]:
+        for hi, table in self._directories[space].items():
+            for lo, mapping in table.items():
+                yield (hi << TABLE_BITS) | lo, mapping
+
+    # -- introspection -------------------------------------------------------------
+
+    def table_count(self, space: int) -> int:
+        """Second-level tables currently allocated for *space*."""
+        return len(self._directories[space])

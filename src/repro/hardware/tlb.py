@@ -1,0 +1,76 @@
+"""A small fully-associative TLB with LRU replacement.
+
+Optional: an MMU works without one.  When attached, ``translate``
+consults it first; map/unmap/protect shoot down the affected entry.
+Hit/miss statistics feed the MMU-port ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.hardware.mmu import Mapping
+from repro.kernel.stats import EventCounter
+
+
+class TLB:
+    """Translation lookaside buffer: (space, vpn) -> Mapping, LRU."""
+
+    def __init__(self, entries: int = 64):
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.capacity = entries
+        self._entries: "OrderedDict[Tuple[int, int], Mapping]" = OrderedDict()
+        self.stats = EventCounter()
+
+    def probe(self, space: int, vpn: int) -> Optional[Mapping]:
+        """Look up a translation; None on miss."""
+        key = (space, vpn)
+        mapping = self._entries.get(key)
+        if mapping is None:
+            self.stats.add("miss")
+            return None
+        self._entries.move_to_end(key)
+        self.stats.add("hit")
+        return mapping
+
+    def fill(self, space: int, vpn: int, mapping: Mapping) -> None:
+        """Install a translation after a successful table walk."""
+        key = (space, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.add("evict")
+        self._entries[key] = mapping
+
+    def invalidate(self, space: int, vpn: int) -> None:
+        """Shoot down one entry (after map/unmap/protect)."""
+        if self._entries.pop((space, vpn), None) is not None:
+            self.stats.add("shootdown")
+
+    def flush_space(self, space: int) -> None:
+        """Drop every entry belonging to *space*."""
+        stale = [key for key in self._entries if key[0] == space]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.stats.add("space_flush")
+
+    def flush(self) -> None:
+        """Drop everything."""
+        self._entries.clear()
+        self.stats.add("full_flush")
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently cached."""
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit (0.0 when never probed)."""
+        hits = self.stats.get("hit")
+        misses = self.stats.get("miss")
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,16 @@
+"""Chorus IPC: ports, messages, and the transit-segment data path.
+
+Section 5.1.6: IPC is decoupled from memory management — it never
+creates, destroys or resizes regions — but *uses* the memory
+management: sends are a ``cache.copy`` (per-page deferred) into a
+64 Kbyte transit-segment slot when the data is large enough, a plain
+``bcopy`` otherwise; receives use ``cache.move`` (page re-assignment)
+or ``bcopy``.
+"""
+
+from repro.ipc.message import Message
+from repro.ipc.port import Port
+from repro.ipc.transit import TransitSegment
+from repro.ipc.ipc import IpcSubsystem
+
+__all__ = ["Message", "Port", "TransitSegment", "IpcSubsystem"]

@@ -1,0 +1,134 @@
+"""IPC send/receive over the transit segment (section 5.1.6).
+
+The data path follows the paper exactly:
+
+* **send**: payload ≥ one page and page-aligned → ``cache.copy``
+  (per-page deferred) from the user segment into a transit slot;
+  otherwise a ``bcopy`` (inline bytes).
+* **receive**: into a destination cache → ``cache.move`` out of the
+  slot (page re-assignment, no copying); otherwise ``bcopy``.
+
+Server ports short-circuit the queue: the registered handler runs
+synchronously and its return value is the reply — the in-process
+equivalent of a mapper actor's request loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import IpcError
+from repro.gmi.interface import CopyPolicy
+from repro.ipc.message import Message
+from repro.ipc.port import Port
+from repro.ipc.transit import TransitSegment
+from repro.kernel.clock import CostEvent
+
+
+class IpcSubsystem:
+    """Port registry plus the two data paths."""
+
+    def __init__(self, vm, transit_slots: int = 16):
+        self.vm = vm
+        self.clock = vm.clock
+        self.transit = TransitSegment(vm, slots=transit_slots)
+        self._ports: Dict[str, Port] = {}
+
+    # -- port management ----------------------------------------------------------
+
+    def create_port(self, name: str, owner=None, handler=None) -> Port:
+        """Create a named port; a *handler* makes it an RPC server port."""
+        if name in self._ports:
+            raise IpcError(f"port name {name} already in use")
+        port = Port(name, owner=owner, handler=handler)
+        self._ports[name] = port
+        return port
+
+    def lookup_port(self, name: str) -> Port:
+        """The live port named *name* (IpcError if absent/dead)."""
+        port = self._ports.get(name)
+        if port is None or port.dead:
+            raise IpcError(f"no such port: {name}")
+        return port
+
+    def destroy_port(self, name: str) -> None:
+        """Kill a port; queued messages are dropped."""
+        port = self._ports.pop(name, None)
+        if port is not None:
+            port.destroy()
+
+    # -- send ----------------------------------------------------------------------------
+
+    def send(self, port_name: str, header: Optional[dict] = None,
+             data: Optional[bytes] = None,
+             src_cache=None, src_offset: int = 0, size: int = 0) -> Optional[Message]:
+        """Send a message; returns the reply for server ports."""
+        port = self.lookup_port(port_name)
+        self.clock.charge(CostEvent.IPC_SEND)
+        message = self._build(header or {}, data, src_cache, src_offset, size)
+        if port.is_server:
+            reply = port.handler(message)
+            self._dispose(message)
+            return reply
+        port.enqueue(message)
+        return None
+
+    def _build(self, header: dict, data: Optional[bytes], src_cache,
+               src_offset: int, size: int) -> Message:
+        if data is not None and src_cache is not None:
+            raise IpcError("specify either inline data or a source cache")
+        if src_cache is None:
+            return Message(header=header, inline=data)
+        page = self.vm.page_size
+        aligned = (src_offset % page == 0 and size % page == 0 and size > 0)
+        if aligned:
+            slot = self.transit.allocate()
+            offset = self.transit.slot_offset(slot)
+            self.clock.charge(CostEvent.TRANSIT_SLOT)
+            # "An IPC send is implemented as a cache.copy between the
+            # user-space segment and a transit slot."
+            self.vm.cache_copy(src_cache, src_offset, self.transit.cache,
+                               offset, size, policy=CopyPolicy.PER_PAGE)
+            return Message(header=header, slot=slot, size=size)
+        payload = self.vm.cache_read(src_cache, src_offset, size)
+        self.clock.charge(CostEvent.BCOPY_BYTE, size)
+        return Message(header=header, inline=payload)
+
+    def _dispose(self, message: Message) -> None:
+        if message.slot is not None:
+            self.transit.release(message.slot)
+            message.slot = None
+
+    # -- receive ------------------------------------------------------------------------
+
+    def receive(self, port_name: str, dst_cache=None,
+                dst_offset: int = 0) -> Message:
+        """Dequeue one message, landing payloads in *dst_cache* if given.
+
+        The returned message's ``inline`` holds the bytes for the bcopy
+        path; for the transit path the payload has been moved into the
+        destination cache and ``inline`` is None (``size`` tells how
+        much arrived).
+        """
+        port = self.lookup_port(port_name)
+        if port.is_server:
+            raise IpcError(f"cannot receive on server port {port_name}")
+        self.clock.charge(CostEvent.IPC_RECEIVE)
+        message = port.dequeue()
+        if message.slot is not None:
+            slot, message.slot = message.slot, None
+            offset = self.transit.slot_offset(slot)
+            if dst_cache is not None:
+                # "A receive is implemented by cache.move": the slot's
+                # pages are re-assigned, not copied.
+                self.vm.cache_move(self.transit.cache, offset, dst_cache,
+                                   dst_offset, message.size)
+            else:
+                message.inline = self.vm.cache_read(self.transit.cache,
+                                                    offset, message.size)
+                self.clock.charge(CostEvent.BCOPY_BYTE, message.size)
+            self.transit.release(slot)
+        elif message.inline is not None and dst_cache is not None:
+            self.vm.cache_write(dst_cache, dst_offset, message.inline)
+            self.clock.charge(CostEvent.BCOPY_BYTE, len(message.inline))
+        return message

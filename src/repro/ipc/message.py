@@ -1,0 +1,45 @@
+"""IPC messages (limited to 64 Kbytes, section 5.1.6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import IpcError
+from repro.units import IPC_MESSAGE_LIMIT
+
+
+@dataclass
+class Message:
+    """One message: a small header plus a body.
+
+    The body is either ``inline`` bytes (the bcopy path, small
+    messages) or a transit-segment ``slot`` holding ``size`` bytes
+    (the cache.copy path).  ``header`` carries protocol fields for
+    RPC-style exchanges (the mapper protocol, pipe control, ...).
+    """
+
+    header: Dict[str, Any] = field(default_factory=dict)
+    inline: Optional[bytes] = None
+    slot: Optional[int] = None
+    size: int = 0
+    reply_port: Optional[str] = None
+
+    def __post_init__(self):
+        if self.inline is not None:
+            if len(self.inline) > IPC_MESSAGE_LIMIT:
+                raise IpcError(
+                    f"message body {len(self.inline)} exceeds the "
+                    f"{IPC_MESSAGE_LIMIT}-byte limit"
+                )
+            self.size = len(self.inline)
+        elif self.size > IPC_MESSAGE_LIMIT:
+            raise IpcError(
+                f"transit payload {self.size} exceeds the "
+                f"{IPC_MESSAGE_LIMIT}-byte limit"
+            )
+
+    @property
+    def in_transit_slot(self) -> bool:
+        """True when the payload parks in a transit-segment slot."""
+        return self.slot is not None

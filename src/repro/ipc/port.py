@@ -1,0 +1,66 @@
+"""Ports: message addresses with receive queues (section 5.1.1).
+
+"Messages are not addressed directly to threads, but to intermediate
+entities called ports.  A port is an address to which messages can be
+sent, and a queue holding the messages received but not yet consumed."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import IpcError
+from repro.ipc.message import Message
+
+
+class Port:
+    """A named message queue, optionally served by an RPC handler.
+
+    A *server* port carries a handler invoked synchronously on send —
+    the in-process stand-in for a mapper actor's receive loop; the
+    handler's return value becomes the reply message.
+    """
+
+    def __init__(self, name: str, owner: Optional[object] = None,
+                 handler: Optional[Callable[[Message], Message]] = None):
+        self.name = name
+        self.owner = owner
+        self.handler = handler
+        self.queue: "deque[Message]" = deque()
+        self.dead = False
+        self.sends = 0
+        self.receives = 0
+
+    @property
+    def is_server(self) -> bool:
+        """True when a synchronous RPC handler serves this port."""
+        return self.handler is not None
+
+    def enqueue(self, message: Message) -> None:
+        """Append a message (IpcError on a dead port)."""
+        if self.dead:
+            raise IpcError(f"send to dead port {self.name}")
+        self.queue.append(message)
+        self.sends += 1
+
+    def dequeue(self) -> Message:
+        """Pop the oldest message (IpcError when empty)."""
+        if not self.queue:
+            raise IpcError(f"receive on empty port {self.name}")
+        self.receives += 1
+        return self.queue.popleft()
+
+    @property
+    def pending(self) -> int:
+        """Messages received but not yet consumed."""
+        return len(self.queue)
+
+    def destroy(self) -> None:
+        """Mark dead and drop the queue."""
+        self.dead = True
+        self.queue.clear()
+
+    def __repr__(self) -> str:
+        kind = "server" if self.is_server else "queue"
+        return f"Port({self.name}, {kind}, {self.pending} pending)"

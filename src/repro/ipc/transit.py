@@ -1,0 +1,51 @@
+"""The kernel transit segment (section 5.1.6).
+
+"The kernel has a single fixed-sized transit segment, mapped in the
+kernel address space, made of 64 Kbyte slots."  Message payloads park
+in a slot between send and receive; the slot's pages are deferred
+copies of the sender's pages, and a receive *moves* them out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ResourceExhausted
+from repro.units import IPC_MESSAGE_LIMIT
+
+
+class TransitSegment:
+    """Slot allocator over one kernel cache."""
+
+    SLOT_SIZE = IPC_MESSAGE_LIMIT
+
+    def __init__(self, vm, slots: int = 16):
+        self.vm = vm
+        self.slots = slots
+        self.cache = vm.cache_create(vm.default_provider, name="transit")
+        self.cache.segment = vm.default_provider.segment_create(self.cache)
+        self._free: List[int] = list(range(slots - 1, -1, -1))
+        self.high_water = 0
+
+    def allocate(self) -> int:
+        """Reserve one slot; returns the slot index."""
+        if not self._free:
+            raise ResourceExhausted("no free transit slots")
+        slot = self._free.pop()
+        self.high_water = max(self.high_water, self.slots - len(self._free))
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot; any leftover pages are dropped."""
+        offset = self.slot_offset(slot)
+        self.vm.cache_invalidate(self.cache, offset, self.SLOT_SIZE)
+        self._free.append(slot)
+
+    def slot_offset(self, slot: int) -> int:
+        """Byte offset of *slot* within the transit cache."""
+        return slot * self.SLOT_SIZE
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available."""
+        return len(self._free)

@@ -1,0 +1,43 @@
+"""Event counters shared by the simulated components."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+
+class EventCounter:
+    """A thread-safe bag of named integer counters.
+
+    Used by the virtual clock for priced events, by the TLB for
+    hit/miss accounting, by the pageout daemon for eviction stats, etc.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, count: int = 1) -> None:
+        """Increment counter *name* by *count*."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + count
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self._counts.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            nonzero = {k: v for k, v in self._counts.items() if v}
+        return f"EventCounter({nonzero!r})"

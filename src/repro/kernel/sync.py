@@ -1,0 +1,100 @@
+"""Host-kernel synchronization interface.
+
+Section 2 of the paper: "The 'host' kernel for the Memory Management
+must provide a simple synchronization interface, to allow concurrent
+Memory Management operations."  The GMI implementations in this
+repository receive a :class:`HostSync` object and use nothing else for
+mutual exclusion, so the memory manager stays a replaceable unit.
+
+Two implementations are provided:
+
+* :class:`ThreadedSync` — real ``threading`` primitives, used when
+  segment mappers run asynchronously (exercises synchronization page
+  stubs for pages "in transit", section 4.1.2).
+* :class:`NullSync` — no-op locks for single-threaded deterministic
+  runs (mappers respond synchronously), which is how the benchmark
+  harness runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class HostSync:
+    """Abstract synchronization factory handed to a memory manager."""
+
+    def lock(self):
+        """Return a new mutual-exclusion lock (context manager)."""
+        raise NotImplementedError
+
+    def condition(self, lock=None):
+        """Return a new condition variable, optionally sharing *lock*."""
+        raise NotImplementedError
+
+
+class ThreadedSync(HostSync):
+    """Synchronization backed by Python's ``threading`` module."""
+
+    def lock(self):
+        return threading.RLock()
+
+    def condition(self, lock=None):
+        return threading.Condition(lock)
+
+
+class _NullLock:
+    """A lock that never blocks: valid only for single-threaded runs."""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return True
+
+    def release(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NullCondition:
+    """Condition variable for single-threaded runs.
+
+    ``wait`` raises: in a deterministic single-threaded simulation a
+    wait could never be satisfied, so reaching it is a logic error
+    (e.g. a sync stub was left behind by a synchronous mapper).
+    """
+
+    def __init__(self, lock: Optional[_NullLock] = None):
+        self._lock = lock or _NullLock()
+
+    def __enter__(self) -> "_NullCondition":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def wait(self, timeout: Optional[float] = None):
+        raise RuntimeError(
+            "NullSync condition wait: a single-threaded run blocked; "
+            "use ThreadedSync with asynchronous mappers instead"
+        )
+
+    def notify(self, n: int = 1) -> None:
+        pass
+
+    def notify_all(self) -> None:
+        pass
+
+
+class NullSync(HostSync):
+    """No-op synchronization for deterministic single-threaded runs."""
+
+    def lock(self):
+        return _NullLock()
+
+    def condition(self, lock=None):
+        return _NullCondition(lock)

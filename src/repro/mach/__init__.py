@@ -1,0 +1,19 @@
+"""Mach-style baseline memory managers (section 4.2.5's comparison).
+
+Two GMI implementations live here, built on the same simulated
+substrate as the PVM so the comparison isolates exactly the
+deferred-copy algorithm:
+
+* :class:`~repro.mach.mach_vm.MachVirtualMemory` — shadow-object
+  deferred copy: on each copy the source is write-protected and its
+  accumulated pages sink into a new immutable memory object; modified
+  pages collect in the (new, empty) tops, and lookups run *down* the
+  chain towards the original — the inverse of the PVM's history trees.
+* :class:`~repro.mach.eager.EagerVirtualMemory` — no deferral at all;
+  the strawman both papers improve on.
+"""
+
+from repro.mach.mach_vm import MachVirtualMemory
+from repro.mach.eager import EagerVirtualMemory
+
+__all__ = ["MachVirtualMemory", "EagerVirtualMemory"]

@@ -1,0 +1,22 @@
+"""Eager-copy baseline: every copy moves the bytes immediately.
+
+The strawman both the PVM and Mach improve on; useful to quantify what
+deferral buys (the benchmarks' third column).
+"""
+
+from __future__ import annotations
+
+from repro.gmi.interface import CopyPolicy
+from repro.pvm.cache import PvmCache
+from repro.pvm.pvm import PagedVirtualMemory
+
+
+class EagerVirtualMemory(PagedVirtualMemory):
+    """A PVM with deferral disabled: all copies are physical."""
+
+    name = "eager"
+
+    def _effective_policy(self, src: PvmCache, src_offset: int,
+                          dst: PvmCache, dst_offset: int, size: int,
+                          policy: CopyPolicy) -> CopyPolicy:
+        return CopyPolicy.EAGER

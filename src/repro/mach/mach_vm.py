@@ -1,0 +1,49 @@
+"""A GMI memory manager using Mach-style shadow objects.
+
+Everything except the deferred-copy machinery — contexts, regions,
+fault dispatch, the global map, pageout — is inherited from the PVM:
+the comparison of Tables 6 and 7 is therefore exactly a comparison of
+history objects against shadow chains on one substrate.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.clock import CostEvent
+from repro.mach.shadow import ShadowMixin
+from repro.pvm.cache import PvmCache
+from repro.pvm.pvm import PagedVirtualMemory
+
+
+class MachVirtualMemory(ShadowMixin, PagedVirtualMemory):
+    """Shadow-object baseline (section 4.2.5).
+
+    Parameters are those of :class:`PagedVirtualMemory`, plus
+    ``auto_merge``: when True (the default, matching Mach), an interior
+    shadow left with a single dependant is merged into it immediately —
+    the garbage collection the paper calls "a major complication of the
+    Mach algorithm".  Turning it off exposes the chain-growth pathology
+    (ablation A1).
+    """
+
+    name = "mach-shadow"
+
+    LOOKUP_EVENT = CostEvent.SHADOW_LOOKUP
+    MERGE_EVENT = CostEvent.SHADOW_MERGE_PAGE
+
+    def __init__(self, *args, auto_merge: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.auto_merge = auto_merge
+
+    # Both "large" and "small" deferred copies use shadow objects: Mach
+    # has a single deferral technique (the paper contrasts this with
+    # the PVM's two).
+    def _deferred_copy_history(self, src: PvmCache, src_offset: int,
+                               dst: PvmCache, dst_offset: int, size: int,
+                               on_reference: bool) -> None:
+        self._deferred_copy_shadow(src, src_offset, dst, dst_offset, size,
+                                   on_reference)
+
+    def _deferred_copy_per_page(self, src: PvmCache, src_offset: int,
+                                dst: PvmCache, dst_offset: int,
+                                size: int) -> None:
+        self._deferred_copy_shadow(src, src_offset, dst, dst_offset, size)

@@ -1,0 +1,13 @@
+"""The minimal GMI implementation (section 5.2).
+
+"A minimal implementation, suited for embedded real-time systems and
+small hardware configurations."  Same interface, opposite policies:
+regions are fully allocated, mapped and pinned at creation (so access
+never faults — the hard real-time property), copies are always
+physical, and there is no page replacement (running out of real
+memory is a configuration error, not a paging event).
+"""
+
+from repro.minimal.minimal_vm import RealTimeVirtualMemory
+
+__all__ = ["RealTimeVirtualMemory"]

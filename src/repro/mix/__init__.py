@@ -1,0 +1,19 @@
+"""Chorus/MIX: Unix process semantics over the Nucleus (section 5.1.5).
+
+"A standard Unix process is implemented as a Chorus actor hosting a
+single thread.  The Unix exec invokes the Chorus rgnMap operation to
+map the text segment of the process, rgnInit for its data segment, and
+rgnAllocate for the stack.  A Unix fork uses rgnMapFromActor to share
+the text segment between the parent and child processes.  It invokes
+rgnInitFromActor to create the child's data and stack areas as copies
+of the parent's."
+"""
+
+from repro.mix.program import Program, ProgramStore
+from repro.mix.process import Process
+from repro.mix.process_manager import ProcessManager
+from repro.mix.pipes import Pipe
+from repro.mix.files import FileTable
+
+__all__ = ["Program", "ProgramStore", "Process", "ProcessManager", "Pipe",
+           "FileTable"]

@@ -1,0 +1,153 @@
+"""Unix file I/O over the unified cache (the section 3.2 motivation).
+
+"In a Unix-like system with demand-paging, there are two potential
+conflicts between read/write and mapped access to segments. ... The
+GMI solves these problems by offering a unified interface to segments:
+in addition to the mapped-memory access ... the same cache can be
+accessed by explicit data transfer through copy (i.e. read/write)
+operations."
+
+``FileTable`` gives processes classic descriptor-based open / read /
+write / lseek / mmap / close calls; every path lands in the *same*
+local cache, so a write(2) is immediately visible through an mmap(2)
+of the same file and vice versa — no dual caching, no inconsistency,
+no separate buffer cache competing for memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import InvalidOperation
+from repro.gmi.types import Protection
+from repro.segments.capability import Capability
+from repro.units import page_ceil
+
+
+@dataclass
+class OpenFile:
+    """One descriptor: a bound segment cache plus a file offset."""
+
+    capability: Capability
+    cache: object
+    position: int = 0
+    size: int = 0
+    mappings: list = field(default_factory=list)
+
+
+class FileTable:
+    """Per-process (or per-site) descriptor table."""
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+        self._files: Dict[int, OpenFile] = {}
+        self._next_fd = 3                     # 0-2 reserved, like Unix
+
+    def _file(self, fd: int) -> OpenFile:
+        entry = self._files.get(fd)
+        if entry is None:
+            raise InvalidOperation(f"bad file descriptor {fd}")
+        return entry
+
+    # -- the calls --------------------------------------------------------------
+
+    def open(self, capability: Capability) -> int:
+        """Bind the file's segment to a local cache; return a fd."""
+        cache = self.nucleus.segment_manager.bind(capability)
+        mapper = self.nucleus.mapper(capability.port)
+        size = mapper.segment_size(capability.key)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = OpenFile(capability=capability, cache=cache,
+                                   size=size)
+        return fd
+
+    def read(self, fd: int, count: int) -> bytes:
+        """read(2): through the cache, advancing the offset."""
+        entry = self._file(fd)
+        count = max(0, min(count, entry.size - entry.position))
+        if count == 0:
+            return b""
+        data = entry.cache.read(entry.position, count)
+        entry.position += count
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        """write(2): through the same cache mapped access uses."""
+        entry = self._file(fd)
+        entry.cache.write(entry.position, data)
+        entry.position += len(data)
+        entry.size = max(entry.size, entry.position)
+        return len(data)
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        """Positional read: like read(2) at *offset*, cursor untouched."""
+        entry = self._file(fd)
+        count = max(0, min(count, entry.size - offset))
+        return entry.cache.read(offset, count) if count else b""
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """Positional write at *offset*, cursor untouched."""
+        entry = self._file(fd)
+        entry.cache.write(offset, data)
+        entry.size = max(entry.size, offset + len(data))
+        return len(data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0) -> int:
+        """lseek(2): whence 0=SET, 1=CUR, 2=END."""
+        entry = self._file(fd)
+        if whence == 0:
+            position = offset
+        elif whence == 1:
+            position = entry.position + offset
+        elif whence == 2:
+            position = entry.size + offset
+        else:
+            raise InvalidOperation(f"bad whence {whence}")
+        if position < 0:
+            raise InvalidOperation("negative file offset")
+        entry.position = position
+        return position
+
+    def mmap(self, fd: int, actor, length: Optional[int] = None,
+             address: Optional[int] = None,
+             protection: Protection = Protection.RW,
+             offset: int = 0):
+        """mmap(2): a region over the very same cache."""
+        entry = self._file(fd)
+        page = self.nucleus.vm.page_size
+        length = page_ceil(length if length is not None
+                           else max(entry.size, 1), page)
+        if address is None:
+            address = actor.context.allocate_address(length)
+        region = actor.context.region_create(
+            address, length, protection, entry.cache, offset)
+        entry.mappings.append(region)
+        return region
+
+    def fsync(self, fd: int) -> None:
+        """fsync(2): push dirty pages back to the mapper."""
+        entry = self._file(fd)
+        page = self.nucleus.vm.page_size
+        span = page_ceil(max(entry.size, 1), page)
+        entry.cache.sync(0, span)
+
+    def fstat_size(self, fd: int) -> int:
+        """Descriptor-visible file size in bytes."""
+        return self._file(fd).size
+
+    def close(self, fd: int) -> None:
+        """close(2): unmap, release the segment-manager reference."""
+        entry = self._files.pop(fd, None)
+        if entry is None:
+            raise InvalidOperation(f"bad file descriptor {fd}")
+        for region in entry.mappings:
+            if not region.destroyed:
+                region.destroy()
+        self.nucleus.segment_manager.release(entry.capability)
+
+    @property
+    def open_count(self) -> int:
+        """Open descriptors in this table."""
+        return len(self._files)

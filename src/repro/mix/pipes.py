@@ -1,0 +1,88 @@
+"""Pipes over Chorus IPC.
+
+Pipe traffic exercises the per-virtual-page deferred copy path of
+section 4.3 when writes are page-aligned, and the inline (bcopy) path
+otherwise — section 5.1.6's two IPC data paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import IpcError
+from repro.units import IPC_MESSAGE_LIMIT
+
+_pipe_serial = itertools.count(1)
+
+
+class Pipe:
+    """A unidirectional byte pipe between two processes.
+
+    Backed by one IPC port; each write is one message (at most
+    64 Kbytes, the IPC message limit).
+    """
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+        self.name = f"pipe{next(_pipe_serial)}"
+        self.port = nucleus.ipc.create_port(self.name)
+        self._pending = b""
+        self.closed = False
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def write(self, data: bytes, src_cache=None, src_offset: int = 0) -> int:
+        """Write bytes (or a cache window, taking the transit path)."""
+        if self.closed:
+            raise IpcError("write to closed pipe")
+        if src_cache is not None:
+            size = len(data) if data else 0
+            raise IpcError("pass either bytes or a cache window")
+        for start in range(0, len(data), IPC_MESSAGE_LIMIT):
+            chunk = data[start:start + IPC_MESSAGE_LIMIT]
+            self.nucleus.ipc.send(self.name, data=chunk)
+        self.bytes_written += len(data)
+        return len(data)
+
+    def write_from_cache(self, cache, offset: int, size: int) -> int:
+        """Write a segment window through the transit segment."""
+        if self.closed:
+            raise IpcError("write to closed pipe")
+        position = 0
+        while position < size:
+            chunk = min(IPC_MESSAGE_LIMIT, size - position)
+            self.nucleus.ipc.send(self.name, src_cache=cache,
+                                  src_offset=offset + position, size=chunk)
+            position += chunk
+        self.bytes_written += size
+        return size
+
+    def read(self, size: int) -> bytes:
+        """Read up to *size* bytes (empty result = would block / EOF)."""
+        while len(self._pending) < size and self.port.pending:
+            message = self.nucleus.ipc.receive(self.name)
+            self._pending += message.inline or b""
+        result, self._pending = self._pending[:size], self._pending[size:]
+        self.bytes_read += len(result)
+        return result
+
+    def read_into_cache(self, cache, offset: int) -> int:
+        """Receive one message straight into a cache (move path)."""
+        if not self.port.pending:
+            return 0
+        message = self.nucleus.ipc.receive(self.name, dst_cache=cache,
+                                           dst_offset=offset)
+        self.bytes_read += message.size
+        return message.size
+
+    @property
+    def readable(self) -> int:
+        """Bytes available without blocking."""
+        return len(self._pending) + sum(
+            message.size for message in self.port.queue)
+
+    def close(self) -> None:
+        """Close the pipe and destroy its port."""
+        if not self.closed:
+            self.closed = True
+            self.nucleus.ipc.destroy_port(self.name)

@@ -1,0 +1,68 @@
+"""Unix process state: an actor plus text/data/stack regions."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import StaleObject
+from repro.mix.program import Program
+
+_pid_counter = itertools.count(1)
+
+
+class Process:
+    """One Unix process (a Chorus actor hosting a single thread)."""
+
+    def __init__(self, manager, actor, parent: Optional["Process"] = None):
+        self.manager = manager
+        self.actor = actor
+        self.pid = next(_pid_counter)
+        self.ppid = parent.pid if parent else 0
+        self.program: Optional[Program] = None
+        self.text_region = None
+        self.data_region = None
+        self.stack_region = None
+        self.brk = 0                      # end of the data area
+        self.exited = False
+        self.exit_status: Optional[int] = None
+        self.children = []
+
+    def _check_alive(self) -> None:
+        if self.exited:
+            raise StaleObject(f"process {self.pid} has exited")
+
+    # -- memory access as the process -----------------------------------------
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        """Read this process's memory (faults as the process would)."""
+        self._check_alive()
+        return self.actor.read(vaddr, size)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Write this process's memory."""
+        self._check_alive()
+        self.actor.write(vaddr, data)
+
+    # -- convenience wrappers over the manager ------------------------------------
+
+    def fork(self) -> "Process":
+        """Unix fork(2): see :meth:`ProcessManager.fork`."""
+        return self.manager.fork(self)
+
+    def exec(self, program_name: str) -> None:
+        """Unix exec(2): replace the image with *program_name*."""
+        self.manager.exec(self, program_name)
+
+    def exit(self, status: int = 0) -> None:
+        """Unix exit(2): tear down the actor."""
+        self.manager.exit(self, status)
+
+    def sbrk(self, increment: int) -> int:
+        """Grow (or query) the data break; returns the old break."""
+        return self.manager.sbrk(self, increment)
+
+    def __repr__(self) -> str:
+        state = "zombie" if self.exited else "running"
+        name = self.program.name if self.program else "-"
+        return f"Process(pid={self.pid}, {name}, {state})"

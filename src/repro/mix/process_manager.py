@@ -1,0 +1,150 @@
+"""The Chorus/MIX process manager (section 5.1.5).
+
+Maps Unix process semantics onto Nucleus objects: exec is
+rgnMap(text) + rgnInit(data) + rgnAllocate(stack); fork is
+rgnMapFromActor(text) + rgnInitFromActor(data, stack); exit destroys
+the actor (and the history machinery reclaims the deferred copies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import InvalidOperation
+from repro.gmi.types import Protection
+from repro.mix.process import Process
+from repro.mix.program import Program, ProgramStore
+from repro.units import page_ceil
+
+
+class ProcessManager:
+    """Unix-process lifecycle over one Nucleus."""
+
+    def __init__(self, nucleus, program_store: ProgramStore):
+        self.nucleus = nucleus
+        self.programs = program_store
+        self.processes: Dict[int, Process] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def spawn(self, program_name: str,
+              parent: Optional[Process] = None) -> Process:
+        """Create a fresh process running *program_name* (fork+exec)."""
+        actor = self.nucleus.create_actor()
+        process = Process(self, actor, parent=parent)
+        self.processes[process.pid] = process
+        if parent is not None:
+            parent.children.append(process)
+        self.exec(process, program_name)
+        return process
+
+    def exec(self, process: Process, program_name: str) -> None:
+        """Replace the process image (Unix exec, 5.1.5)."""
+        process._check_alive()
+        program = self.programs.lookup(program_name)
+        self._release_image(process)
+        nucleus = self.nucleus
+        # "The Unix exec invokes the Chorus rgnMap operation to map the
+        # text segment of the process, ..."
+        process.text_region = nucleus.rgn_map(
+            process.actor, program.text_capability, program.text_size,
+            address=Program.TEXT_BASE, protection=Protection.RX)
+        # "... rgnInit for its data segment, ..."
+        process.data_region = nucleus.rgn_init(
+            process.actor, program.data_capability, program.data_size,
+            address=Program.DATA_BASE, protection=Protection.RW)
+        # "... and rgnAllocate for the stack."
+        process.stack_region = nucleus.rgn_allocate(
+            process.actor, program.stack_size,
+            address=Program.STACK_BASE, protection=Protection.RW)
+        process.program = program
+        process.brk = Program.DATA_BASE + program.data_size
+
+    def _release_image(self, process: Process) -> None:
+        """Drop the current image's regions (exec over a live image)."""
+        for region in (process.text_region, process.data_region,
+                       process.stack_region):
+            if region is not None and not region.destroyed:
+                self.nucleus.rgn_free(process.actor, region)
+        process.text_region = None
+        process.data_region = None
+        process.stack_region = None
+
+    def fork(self, parent: Process, on_reference: bool = False) -> Process:
+        """Unix fork (5.1.5): share text, deferred-copy data and stack.
+
+        With *on_reference* the child's areas are copy-on-reference
+        instead of copy-on-write (section 4.2.2's alternative policy —
+        useful when the child will migrate or touch everything anyway).
+        """
+        parent._check_alive()
+        if parent.program is None:
+            raise InvalidOperation("cannot fork a process with no image")
+        actor = self.nucleus.create_actor(f"{parent.actor.name}.child")
+        child = Process(self, actor, parent=parent)
+        self.processes[child.pid] = child
+        parent.children.append(child)
+        nucleus = self.nucleus
+        # "A Unix fork uses rgnMapFromActor to share the text segment
+        # between the parent and child processes."
+        child.text_region = nucleus.rgn_map_from_actor(
+            actor, parent.actor, parent.text_region.address,
+            address=parent.text_region.address)
+        # "It invokes rgnInitFromActor to create the child's data and
+        # stack areas as copies of the parent's."
+        child.data_region = nucleus.rgn_init_from_actor(
+            actor, parent.actor, parent.data_region.address,
+            address=parent.data_region.address, on_reference=on_reference)
+        child.stack_region = nucleus.rgn_init_from_actor(
+            actor, parent.actor, parent.stack_region.address,
+            address=parent.stack_region.address, on_reference=on_reference)
+        child.program = parent.program
+        child.brk = parent.brk
+        return child
+
+    def exit(self, process: Process, status: int = 0) -> None:
+        """Unix exit: tear the actor down; deferred copies unwind."""
+        process._check_alive()
+        process.exited = True
+        process.exit_status = status
+        self.nucleus.destroy_actor(process.actor)
+        del self.processes[process.pid]
+
+    def wait(self, parent: Process) -> Optional[Process]:
+        """Reap one exited child (simplified waitpid)."""
+        for child in parent.children:
+            if child.exited:
+                parent.children.remove(child)
+                return child
+        return None
+
+    # -- data-area growth -------------------------------------------------------------
+
+    def sbrk(self, process: Process, increment: int) -> int:
+        """Grow the data area (classic Unix brk/sbrk).
+
+        Growth allocates a fresh anonymous region adjacent to the data
+        region; shrinking only moves the logical break.
+        """
+        process._check_alive()
+        old_brk = process.brk
+        if increment <= 0:
+            process.brk = max(
+                process.data_region.address, old_brk + increment)
+            return old_brk
+        page_size = self.nucleus.vm.page_size
+        aligned_old = page_ceil(old_brk, page_size)
+        new_brk = old_brk + increment
+        if new_brk > aligned_old:
+            grow = page_ceil(new_brk - aligned_old, page_size)
+            self.nucleus.rgn_allocate(process.actor, grow,
+                                      address=aligned_old,
+                                      protection=Protection.RW)
+        process.brk = new_brk
+        return old_brk
+
+    # -- introspection ---------------------------------------------------------------
+
+    def live_processes(self) -> int:
+        """Number of non-exited processes."""
+        return len(self.processes)

@@ -1,0 +1,98 @@
+"""Program images: text and data segments behind a mapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import InvalidOperation
+from repro.segments.capability import Capability
+from repro.segments.mapper import Mapper
+from repro.units import page_ceil
+
+
+@dataclass
+class Program:
+    """One executable: capabilities for its text and initialised data."""
+
+    name: str
+    text_capability: Capability
+    data_capability: Capability
+    text_size: int
+    data_size: int
+    stack_size: int
+
+    #: conventional load addresses (page-aligned)
+    TEXT_BASE = 0x0001_0000
+    DATA_BASE = 0x0100_0000
+    STACK_BASE = 0x7000_0000
+
+
+class ProgramStore:
+    """A tiny "filesystem" of executables served by one mapper."""
+
+    def __init__(self, mapper: Mapper, page_size: int,
+                 default_stack: int = 64 * 1024):
+        self.mapper = mapper
+        self.page_size = page_size
+        self.default_stack = default_stack
+        self._programs: Dict[str, Program] = {}
+
+    def install(self, name: str, text: bytes, data: bytes,
+                stack_size: Optional[int] = None) -> Program:
+        """Store an executable image; text/data are padded to pages."""
+        if name in self._programs:
+            raise InvalidOperation(f"program {name!r} already installed")
+        text_size = max(page_ceil(len(text), self.page_size), self.page_size)
+        data_size = max(page_ceil(len(data), self.page_size), self.page_size)
+        register = getattr(self.mapper, "register", None) \
+            or getattr(self.mapper, "create_file")
+        program = Program(
+            name=name,
+            text_capability=register(text + bytes(text_size - len(text))),
+            data_capability=register(data + bytes(data_size - len(data))),
+            text_size=text_size,
+            data_size=data_size,
+            stack_size=page_ceil(stack_size or self.default_stack,
+                                 self.page_size),
+        )
+        self._programs[name] = program
+        return program
+
+    def install_from_capabilities(self, name: str,
+                                  text_capability: Capability,
+                                  text_size: int,
+                                  data_capability: Capability,
+                                  data_size: int,
+                                  stack_size: Optional[int] = None
+                                  ) -> Program:
+        """Register an executable by segment capabilities.
+
+        For images whose mapper lives elsewhere (e.g. across the
+        network): the store never touches the bytes, only the names.
+        """
+        if name in self._programs:
+            raise InvalidOperation(f"program {name!r} already installed")
+        program = Program(
+            name=name,
+            text_capability=text_capability,
+            data_capability=data_capability,
+            text_size=max(page_ceil(text_size, self.page_size),
+                          self.page_size),
+            data_size=max(page_ceil(data_size, self.page_size),
+                          self.page_size),
+            stack_size=page_ceil(stack_size or self.default_stack,
+                                 self.page_size),
+        )
+        self._programs[name] = program
+        return program
+
+    def lookup(self, name: str) -> Program:
+        """The installed program named *name* (InvalidOperation if absent)."""
+        program = self._programs.get(name)
+        if program is None:
+            raise InvalidOperation(f"no such program: {name}")
+        return program
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs

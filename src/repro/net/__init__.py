@@ -1,0 +1,14 @@
+"""Multi-site substrate: network-transparent IPC between Nuclei.
+
+"The physical support for a Chorus system is composed of a set of
+*sites*, interconnected by a communications *network*.  There is one
+Nucleus per site" (section 5.1.1).  This package provides the network:
+a latency-modelled message router between sites' port spaces, and a
+remote-mapper proxy so one site can map segments whose mapper actor
+lives on another — which is how the paper's distributed Unix shares
+files across machines.
+"""
+
+from repro.net.network import Network, RemoteMapper
+
+__all__ = ["Network", "RemoteMapper"]

@@ -1,0 +1,16 @@
+"""The Chorus Nucleus layer above the GMI (section 5.1).
+
+The Nucleus supplies what an operating system kernel must provide to
+integrate a GMI implementation: a *segment manager* (binding mapper
+capabilities to local caches, with the segment-caching strategy of
+5.1.3), IPC, actors, and the high-level region operations of 5.1.4
+(rgnAllocate / rgnMap / rgnInit / rgnMapFromActor / rgnInitFromActor).
+"""
+
+from repro.nucleus.actor import Actor
+from repro.nucleus.segment_manager import SegmentManager, TemporaryProvider
+from repro.nucleus.nucleus import Nucleus
+from repro.nucleus.threads import Join, KThread, Recv, Scheduler
+
+__all__ = ["Actor", "SegmentManager", "TemporaryProvider", "Nucleus",
+           "KThread", "Scheduler", "Recv", "Join"]

@@ -1,0 +1,59 @@
+"""Actors: address spaces hosting threads and ports (section 5.1.1)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import StaleObject
+
+_actor_serial = itertools.count(1)
+
+
+class Actor:
+    """One actor: a protected address space plus its ports.
+
+    Memory state is held by the underlying GMI context; the Nucleus
+    layer tracks the regions it created on the actor's behalf so exit
+    can release temporary caches.
+    """
+
+    def __init__(self, nucleus, name: Optional[str] = None):
+        self.nucleus = nucleus
+        self.actor_id = next(_actor_serial)
+        self.name = name or f"actor{self.actor_id}"
+        if self.name in nucleus.actors:
+            # Names must be unique (they key the actor table and the
+            # default port); disambiguate with the actor id.
+            self.name = f"{self.name}#{self.actor_id}"
+        self.context = nucleus.vm.context_create(self.name)
+        self.port = nucleus.ipc.create_port(f"{self.name}.port", owner=self)
+        #: (region, cache, temporary?) tuples created by the vm_ops.
+        self.mappings: List = []
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise StaleObject(f"actor {self.name} was destroyed")
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        """Read the actor's memory as its threads would."""
+        self._check_alive()
+        return self.nucleus.vm.user_read(self.context, vaddr, size)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Write the actor's memory as its threads would."""
+        self._check_alive()
+        self.nucleus.vm.user_write(self.context, vaddr, data)
+
+    def destroy(self) -> None:
+        """Tear down the actor: regions, temporary caches, port."""
+        self._check_alive()
+        self.alive = False
+        self.nucleus.release_actor_mappings(self)
+        self.context.destroy()
+        self.nucleus.ipc.destroy_port(self.port.name)
+
+    def __repr__(self) -> str:
+        state = "live" if self.alive else "dead"
+        return f"Actor({self.name}, {state}, {len(self.mappings)} mappings)"

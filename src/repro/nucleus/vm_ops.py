@@ -1,0 +1,186 @@
+"""Nucleus memory-management operations (section 5.1.4).
+
+These combine a few GMI operations each, exactly as described:
+
+* ``rgnAllocate`` — temporary local cache + regionCreate;
+* ``rgnMap`` — find-or-create the segment's local cache + regionCreate;
+* ``rgnInit`` — temporary cache, ``cache.copy`` from the source
+  segment's cache, regionCreate;
+* ``rgnMapFromActor`` / ``rgnInitFromActor`` — same, with the source
+  designated by an address within an actor (found via findRegion and
+  region.status).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidOperation
+from repro.gmi.interface import CopyPolicy
+from repro.gmi.types import Protection
+from repro.segments.capability import Capability
+from repro.units import page_ceil
+
+
+@dataclass
+class Mapping:
+    """Bookkeeping for one region created through the Nucleus ops."""
+
+    region: object
+    cache: object
+
+
+class VmOpsMixin:
+    """The rgn* operations, grafted onto the Nucleus."""
+
+    # -- internal cache reference counting ---------------------------------------
+
+    def _retain_cache(self, cache, disposer=None) -> None:
+        entry = self._cache_refs.setdefault(cache.cache_id, [0, disposer])
+        entry[0] += 1
+        if entry[1] is None and disposer is not None:
+            entry[1] = disposer
+
+    def _release_cache_ref(self, cache) -> None:
+        entry = self._cache_refs.get(cache.cache_id)
+        if entry is None:
+            return
+        entry[0] -= 1
+        if entry[0] <= 0:
+            del self._cache_refs[cache.cache_id]
+            if entry[1] is not None:
+                entry[1]()
+
+    def _record(self, actor, region, cache) -> None:
+        actor.mappings.append(Mapping(region, cache))
+
+    def _pick_address(self, actor, address: Optional[int], size: int) -> int:
+        if address is not None:
+            return address
+        return actor.context.allocate_address(size)
+
+    # -- the five operations --------------------------------------------------------
+
+    def rgn_allocate(self, actor, size: int, address: Optional[int] = None,
+                     protection: Protection = Protection.RW):
+        """Allocate a fresh (zero-filled, demand-paged) region."""
+        actor._check_alive()
+        size = page_ceil(size, self.vm.page_size)
+        cache = self.segment_manager.create_temporary(
+            name=f"{actor.name}.anon")
+        address = self._pick_address(actor, address, size)
+        region = actor.context.region_create(address, size, protection,
+                                             cache, 0)
+        self._retain_cache(
+            cache, lambda: self.segment_manager.destroy_temporary(cache))
+        self._record(actor, region, cache)
+        return region
+
+    def rgn_map(self, actor, capability: Capability, size: int,
+                address: Optional[int] = None,
+                protection: Protection = Protection.RW,
+                offset: int = 0):
+        """Map an existing segment into the actor."""
+        actor._check_alive()
+        size = page_ceil(size, self.vm.page_size)
+        cache = self.segment_manager.bind(capability)
+        address = self._pick_address(actor, address, size)
+        region = actor.context.region_create(address, size, protection,
+                                             cache, offset)
+        # bind() took one segment-manager reference; the disposer
+        # returns it when the last Nucleus-level user goes away.
+        self._retain_cache(
+            cache, lambda: self.segment_manager.release(capability))
+        self._record(actor, region, cache)
+        return region
+
+    def rgn_init(self, actor, capability: Capability, size: int,
+                 address: Optional[int] = None,
+                 protection: Protection = Protection.RW,
+                 offset: int = 0,
+                 on_reference: bool = False):
+        """Create a region initialised as a (deferred) copy of a segment."""
+        actor._check_alive()
+        size = page_ceil(size, self.vm.page_size)
+        source = self.segment_manager.bind(capability)
+        cache = self.segment_manager.create_temporary(
+            name=f"{actor.name}.init")
+        source.copy(offset, cache, 0, size, policy=CopyPolicy.HISTORY,
+                    on_reference=on_reference)
+        self.segment_manager.release(capability)
+        address = self._pick_address(actor, address, size)
+        region = actor.context.region_create(address, size, protection,
+                                             cache, 0)
+        self._retain_cache(
+            cache, lambda: self.segment_manager.destroy_temporary(cache))
+        self._record(actor, region, cache)
+        return region
+
+    def rgn_map_from_actor(self, actor, source_actor, source_address: int,
+                           address: Optional[int] = None,
+                           protection: Optional[Protection] = None,
+                           size: Optional[int] = None):
+        """Map the segment behind an address of another actor (sharing)."""
+        actor._check_alive()
+        status = self._source_status(source_actor, source_address)
+        size = size if size is not None else status.size
+        protection = protection if protection is not None else status.protection
+        address = self._pick_address(actor, address, size)
+        region = actor.context.region_create(address, size, protection,
+                                             status.cache, status.offset)
+        self._retain_cache(status.cache)      # disposer owned by the original
+        self._record(actor, region, status.cache)
+        return region
+
+    def rgn_init_from_actor(self, actor, source_actor, source_address: int,
+                            address: Optional[int] = None,
+                            protection: Optional[Protection] = None,
+                            size: Optional[int] = None,
+                            on_reference: bool = False):
+        """Create a region as a deferred copy of another actor's region."""
+        actor._check_alive()
+        status = self._source_status(source_actor, source_address)
+        size = size if size is not None else status.size
+        protection = protection if protection is not None else status.protection
+        cache = self.segment_manager.create_temporary(
+            name=f"{actor.name}.cow")
+        status.cache.copy(status.offset, cache, 0, size,
+                          policy=CopyPolicy.HISTORY,
+                          on_reference=on_reference)
+        address = self._pick_address(actor, address, size)
+        region = actor.context.region_create(address, size, protection,
+                                             cache, 0)
+        self._retain_cache(
+            cache, lambda: self.segment_manager.destroy_temporary(cache))
+        self._record(actor, region, cache)
+        return region
+
+    def rgn_free(self, actor, region) -> None:
+        """Destroy a region created by the operations above."""
+        actor._check_alive()
+        for mapping in list(actor.mappings):
+            if mapping.region is region:
+                actor.mappings.remove(mapping)
+                region.destroy()
+                self._release_cache_ref(mapping.cache)
+                return
+        raise InvalidOperation("region was not created through the Nucleus")
+
+    def release_actor_mappings(self, actor) -> None:
+        """Tear down every Nucleus-created mapping of a dying actor."""
+        for mapping in list(actor.mappings):
+            if not mapping.region.destroyed:
+                mapping.region.destroy()
+            self._release_cache_ref(mapping.cache)
+        actor.mappings.clear()
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _source_status(self, source_actor, source_address: int):
+        region = source_actor.context.find_region(source_address)
+        if region is None:
+            raise InvalidOperation(
+                f"no region at {source_address:#x} in {source_actor.name}"
+            )
+        return region.status()

@@ -1,0 +1,31 @@
+"""The PVM: the paper's demand-paged implementation of the GMI.
+
+Layering follows section 4: a large hardware-independent layer (this
+package) and a small hardware-dependent one
+(:mod:`repro.pvm.hw_interface`) separated by a hardware-independent
+interface, so that porting to a new MMU touches only the latter.
+
+The deferred-copy machinery implements both of the paper's techniques:
+
+* **history objects** (:mod:`repro.pvm.history`) for large data — the
+  paper's novel contribution, an inverted alternative to Mach's shadow
+  objects;
+* **per-virtual-page stubs** (:mod:`repro.pvm.pervpage`) for small
+  copies such as IPC messages.
+"""
+
+from repro.pvm.pvm import PagedVirtualMemory
+from repro.pvm.cache import PvmCache
+from repro.pvm.context import PvmContext
+from repro.pvm.region import PvmRegion
+from repro.pvm.page import CowStub, RealPageDescriptor, SyncStub
+
+__all__ = [
+    "PagedVirtualMemory",
+    "PvmCache",
+    "PvmContext",
+    "PvmRegion",
+    "RealPageDescriptor",
+    "SyncStub",
+    "CowStub",
+]

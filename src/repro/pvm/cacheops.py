@@ -1,0 +1,315 @@
+"""Cache access and management operations (Tables 1 and 4).
+
+The unified-cache property of the GMI (section 3.2) lives here: the
+same local cache serves explicit ``read``/``write`` *and* mapped
+access, so there is no dual-caching inconsistency by construction —
+asserted directly by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidOperation
+from repro.gmi.types import AccessMode, Protection
+from repro.kernel.clock import CostEvent
+from repro.pvm.cache import PvmCache
+from repro.pvm.page import CowStub, RealPageDescriptor, SyncStub
+from repro.units import page_range
+
+
+@dataclass
+class Cap:
+    """Payload of a protection-cap fragment (cache.setProtection)."""
+
+    protection: Protection
+
+    def shifted(self, delta: int) -> "Cap":
+        """Caps are positionless: splitting returns the same payload."""
+        return self
+
+
+class CacheOpsMixin:
+    """Explicit cache access, fill/flush/sync, caps and pinning."""
+
+    # ------------------------------------------------------------------
+    # Explicit data access through the cache
+    # ------------------------------------------------------------------
+
+    def cache_read(self, cache: PvmCache, offset: int, size: int) -> bytes:
+        """Explicit read through the cache (Table 1's unified access)."""
+        with self.lock:
+            return self.cache_read_locked(cache, offset, size)
+
+    def cache_read_locked(self, cache: PvmCache, offset: int,
+                          size: int) -> bytes:
+        """Read body; caller holds the manager lock."""
+        if size < 0 or offset < 0:
+            raise InvalidOperation("negative read bounds")
+        parts = []
+        position = offset
+        end = offset + size
+        while position < end:
+            page_offset = position - (position % self.page_size)
+            chunk = min(self.page_size - (position - page_offset),
+                        end - position)
+            page = self._page_for_explicit_read(cache, page_offset)
+            base = page.frame * self.page_size
+            parts.append(self.memory.read(
+                base + (position - page_offset), chunk))
+            position += chunk
+        return b"".join(parts)
+
+    def _page_for_explicit_read(self, cache: PvmCache,
+                                page_offset: int) -> RealPageDescriptor:
+        """Resolve one page for explicit reading, honouring the
+        copy-on-reference mode (any access materializes a private copy)."""
+        fragment = cache.parents.find(page_offset)
+        if (fragment is not None and fragment.payload.mode == "cor"
+                and page_offset not in cache.owned
+                and page_offset not in cache.pages):
+            return self._materialize_private(cache, page_offset)
+        return self._get_page_for_read(cache, page_offset)
+
+    def cache_write(self, cache: PvmCache, offset: int, data: bytes) -> None:
+        """Explicit write through the cache (COW-safe)."""
+        with self.lock:
+            self.cache_write_locked(cache, offset, data)
+
+    def cache_write_locked(self, cache: PvmCache, offset: int,
+                           data: bytes) -> None:
+        """Write body; caller holds the manager lock."""
+        position = offset
+        index = 0
+        end = offset + len(data)
+        while position < end:
+            page_offset = position - (position % self.page_size)
+            chunk = min(self.page_size - (position - page_offset),
+                        end - position)
+            page = self._get_writable_page(cache, page_offset)
+            base = page.frame * self.page_size
+            self.memory.write(base + (position - page_offset),
+                              data[index:index + chunk])
+            position += chunk
+            index += chunk
+
+    # ------------------------------------------------------------------
+    # Table 4: fillUp / fillZero / copyBack / moveBack
+    # ------------------------------------------------------------------
+
+    def cache_fill_up(self, cache: PvmCache, offset: int, data: bytes) -> None:
+        """Deliver data for a pullIn (or cache it spontaneously)."""
+        if offset % self.page_size:
+            raise InvalidOperation("fillUp offsets must be page-aligned")
+        with self.lock:
+            position = 0
+            while position < len(data):
+                page_offset = offset + position
+                chunk = data[position:position + self.page_size]
+                self._fill_one(cache, page_offset, chunk, zero=False)
+                position += self.page_size
+
+    def cache_fill_zero(self, cache: PvmCache, offset: int, size: int) -> None:
+        """Zero-fill resolution for anonymous memory (bzero-priced)."""
+        if offset % self.page_size:
+            raise InvalidOperation("fillZero offsets must be page-aligned")
+        with self.lock:
+            for page_offset in page_range(offset, size, self.page_size):
+                self._fill_one(cache, page_offset, b"", zero=True)
+
+    def _fill_one(self, cache: PvmCache, offset: int, data: bytes,
+                  zero: bool) -> None:
+        entry = self.global_map.lookup(cache, offset)
+        if isinstance(entry, RealPageDescriptor):
+            # Spontaneous refresh of an already-cached page.
+            if zero:
+                self.memory.zero_frame(entry.frame)
+                self.clock.charge(CostEvent.BZERO_PAGE)
+            else:
+                self.memory.write_frame(entry.frame, data)
+                self.clock.charge(CostEvent.BCOPY_PAGE)
+            return
+        if isinstance(entry, CowStub):
+            raise InvalidOperation("fillUp would overwrite a deferred copy")
+
+        frame = self._allocate_frame()
+        if zero:
+            self.memory.zero_frame(frame)
+            self.clock.charge(CostEvent.BZERO_PAGE)
+        else:
+            self.memory.write_frame(frame, data)
+            self.clock.charge(CostEvent.BCOPY_PAGE)
+
+        if isinstance(entry, SyncStub):
+            granted = (entry.access_mode is AccessMode.WRITE) or zero
+            page = RealPageDescriptor(cache, offset, frame,
+                                      write_granted=granted)
+            self.global_map.replace(cache, offset, page)
+            entry.resolve()
+        else:
+            # Unsolicited caching: readable; writes will upcall
+            # getWriteAccess first.
+            page = RealPageDescriptor(cache, offset, frame,
+                                      write_granted=zero)
+            self.global_map.insert(cache, offset, page)
+        cache.pages[offset] = page
+        cache.owned.add(offset)
+        # If ancestor frames were being presented for this offset (a
+        # spontaneous fill shadowing a parent), readers must refault.
+        self.hw.shootdown_served(cache, offset)
+        # Per-page stubs detached to (cache, offset) while the page was
+        # out re-thread onto the resident descriptor, so a later write
+        # here breaks them before changing the bytes they reference.
+        for stub in list(cache.incoming_stubs):
+            if stub.src_page is None and stub.src_cache is cache \
+                    and stub.src_offset == offset:
+                stub.src_page = page
+                page.cow_stubs.add(stub)
+        self._register_page(page)
+
+    def cache_copy_back(self, cache: PvmCache, offset: int, size: int,
+                        surrender: bool) -> bytes:
+        """Collect the cache's own data for a pushOut.
+
+        Holes (offsets with no resident page of this cache) read as
+        zeroes; pushOut is only ever requested for resident fragments.
+        With *surrender* (moveBack) the cached copy is given up.
+        """
+        with self.lock:
+            parts = []
+            for page_offset in page_range(offset, size, self.page_size):
+                page = cache.pages.get(page_offset)
+                if page is None:
+                    parts.append(bytes(self.page_size))
+                    continue
+                parts.append(self.memory.read_frame(page.frame))
+                self.clock.charge(CostEvent.BCOPY_PAGE)
+                if surrender:
+                    page.dirty = False
+                    self._detach_stubs_to_segment(page)
+                    self._drop_page(page, save=False)
+            blob = b"".join(parts)
+            return blob[:size]
+
+    # ------------------------------------------------------------------
+    # Table 4: flush / sync / invalidate
+    # ------------------------------------------------------------------
+
+    def cache_flush(self, cache: PvmCache, offset: int, size: int,
+                    keep: bool) -> None:
+        """Push dirty pages out; drop them unless *keep* (sync)."""
+        with self.lock:
+            for page_offset in page_range(offset, size, self.page_size):
+                page = cache.pages.get(page_offset)
+                if page is None:
+                    continue
+                if page.dirty:
+                    self.clock.charge(CostEvent.PUSH_OUT)
+                    cache.stats.push_outs += 1
+                    cache.provider.push_out(cache, page_offset,
+                                            self.page_size)
+                    page.dirty = False
+                if not keep and not page.pinned:
+                    self._detach_stubs_to_segment(page)
+                    self._drop_page(page, save=False)
+
+    def cache_invalidate(self, cache: PvmCache, offset: int, size: int) -> None:
+        """Drop cached data without saving it.
+
+        Stubs threaded on the dropped pages are materialized first —
+        they reference copy-time content that would otherwise vanish.
+        """
+        with self.lock:
+            for page_offset in page_range(offset, size, self.page_size):
+                page = cache.pages.get(page_offset)
+                if page is None or page.pinned:
+                    continue
+                self._break_stubs(page)
+                self._drop_page(page, save=False)
+
+    # ------------------------------------------------------------------
+    # Table 4: setProtection / lockInMemory / unlock
+    # ------------------------------------------------------------------
+
+    def cache_set_protection(self, cache: PvmCache, offset: int, size: int,
+                             protection: Protection) -> None:
+        """Cap access rights of [offset, offset+size) (DSM control)."""
+        with self.lock:
+            cache.prot_caps.remove_range(offset, size)
+            if protection != Protection.RWX:
+                cache.prot_caps.insert(offset, size, Cap(protection))
+            hardware = protection.to_hardware()
+            for page_offset in page_range(offset, size, self.page_size):
+                page = cache.pages.get(page_offset)
+                if page is None:
+                    continue
+                if not protection & Protection.READ:
+                    self.hw.shootdown(page)
+                elif not protection & Protection.WRITE:
+                    self.hw.downgrade_page(page)
+
+    def _prot_cap_at(self, cache: PvmCache, offset: int) -> Protection:
+        fragment = cache.prot_caps.find(offset)
+        if fragment is None:
+            return Protection.RWX
+        return fragment.payload.protection
+
+    def cache_lock(self, cache: PvmCache, offset: int, size: int,
+                   lock: bool) -> None:
+        """Pin (or unpin) cached data in real memory; locking pulls the
+        data in first (Table 4: lockInMemory may cause pullIns)."""
+        with self.lock:
+            for page_offset in page_range(offset, size, self.page_size):
+                if lock:
+                    page = self._page_for_explicit_read(cache, page_offset)
+                    page.pin_count += 1
+                else:
+                    page = cache.pages.get(page_offset)
+                    if page is None:
+                        entry = self.global_map.lookup(cache, page_offset)
+                        if isinstance(entry, RealPageDescriptor):
+                            page = entry
+                        else:
+                            page = self._page_for_explicit_read(
+                                cache, page_offset)
+                    if page.pin_count > 0:
+                        page.pin_count -= 1
+
+    # ------------------------------------------------------------------
+    # pullIn machinery
+    # ------------------------------------------------------------------
+
+    def _pull_in(self, cache: PvmCache, offset: int,
+                 mode: AccessMode) -> None:
+        """Place a synchronization page stub and upcall the segment.
+
+        Synchronous providers resolve the stub before returning; with
+        asynchronous providers the caller sleeps on the stub until the
+        fillUp arrives (section 4.1.2).
+        """
+        condition = self.sync_factory.condition(self.lock)
+        stub = SyncStub(cache, offset, condition, access_mode=mode)
+        self.global_map.insert(cache, offset, stub)
+        self.clock.charge(CostEvent.PULL_IN)
+        cache.stats.pull_ins += 1
+        try:
+            cache.provider.pull_in(cache, offset, self.page_size, mode)
+        except BaseException:
+            # The mapper failed (e.g. out of frames during fillUp):
+            # never leave an unresolvable stub behind — sleepers would
+            # hang forever.
+            if self.global_map.lookup(cache, offset) is stub:
+                self.global_map.remove(cache, offset)
+            stub.resolve()
+            raise
+        if not stub.done:
+            current = self.global_map.lookup(cache, offset)
+            if current is stub:
+                self._wait_stub(stub)
+
+    def _wait_stub(self, stub: SyncStub) -> None:
+        """Sleep until the in-transit page arrives."""
+        stub.waiters += 1
+        stub.cache.stats.stub_waits += 1
+        while not stub.done:
+            stub.condition.wait()

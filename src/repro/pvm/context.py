@@ -1,0 +1,98 @@
+"""PVM context descriptors (Figure 2).
+
+A context descriptor refers to the sorted list of regions it contains;
+there is a global list of all context descriptors on the host (held by
+the PVM), indexed by hardware address-space id for fault dispatch.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import StaleObject
+from repro.gmi.interface import Context
+from repro.gmi.types import Protection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pvm.cache import PvmCache
+    from repro.pvm.pvm import PagedVirtualMemory
+    from repro.pvm.region import PvmRegion
+
+
+class PvmContext(Context):
+    """A protected address space managed by the PVM."""
+
+    def __init__(self, pvm: "PagedVirtualMemory", space: int,
+                 name: Optional[str] = None):
+        self.pvm = pvm
+        self.space = space
+        self.name = name or f"ctx{space}"
+        #: regions sorted by start address (section 4.1.1).
+        self.regions: List["PvmRegion"] = []
+        self.destroyed = False
+
+    def _check_live(self) -> None:
+        if self.destroyed:
+            raise StaleObject(f"context {self.name} was destroyed")
+
+    # -- region list maintenance ---------------------------------------------------
+
+    def _region_index(self, address: int) -> int:
+        starts = [region.address for region in self.regions]
+        return bisect.bisect_right(starts, address) - 1
+
+    def _insert_region(self, region: "PvmRegion") -> None:
+        starts = [existing.address for existing in self.regions]
+        self.regions.insert(bisect.bisect_right(starts, region.address), region)
+
+    def _remove_region(self, region: "PvmRegion") -> None:
+        self.regions.remove(region)
+
+    # -- Table 2 -----------------------------------------------------------------------
+
+    def region_create(self, address: int, size: int, protection: Protection,
+                      cache: "PvmCache", offset: int) -> "PvmRegion":
+        self._check_live()
+        return self.pvm.region_create(self, address, size, protection,
+                                      cache, offset)
+
+    def get_region_list(self) -> List["PvmRegion"]:
+        self._check_live()
+        return list(self.regions)
+
+    def find_region(self, address: int) -> Optional["PvmRegion"]:
+        """Region containing *address* (binary search), or None."""
+        self._check_live()
+        index = self._region_index(address)
+        if index >= 0 and self.regions[index].contains(address):
+            return self.regions[index]
+        return None
+
+    def allocate_address(self, size: int, start_hint: int = 0) -> int:
+        """First page-aligned gap of *size* bytes at or after *start_hint*.
+
+        A convenience for upper layers (the Nucleus's rgnAllocate lets
+        the system choose the address).
+        """
+        self._check_live()
+        page = self.pvm.page_size
+        candidate = max(start_hint, page)        # keep page 0 unmapped
+        candidate = (candidate + page - 1) & ~(page - 1)
+        for region in self.regions:
+            if candidate + size <= region.address:
+                break
+            if region.end > candidate:
+                candidate = (region.end + page - 1) & ~(page - 1)
+        return candidate
+
+    def switch(self) -> None:
+        self._check_live()
+        self.pvm.context_switch(self)
+
+    def destroy(self) -> None:
+        self._check_live()
+        self.pvm.context_destroy(self)
+
+    def __repr__(self) -> str:
+        return f"PvmContext({self.name}, {len(self.regions)} regions)"

@@ -1,0 +1,138 @@
+"""Page fault handling (section 4.1.2).
+
+The hardware fault descriptor gives the faulting virtual address; the
+PVM finds the region in the currently active context, computes the
+fault offset in the segment, and resolves the page through the global
+map — recovering immediately when the page is resident, sleeping on a
+synchronization stub when it is in transit, resolving deferred copies,
+or upcalling pullIn.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccessViolation, SegmentationFault
+from repro.gmi.types import Protection
+from repro.hardware.mmu import FaultRecord, Prot
+from repro.kernel.clock import CostEvent
+from repro.pvm.cache import PvmCache
+from repro.pvm.context import PvmContext
+from repro.pvm.page import CowStub, RealPageDescriptor
+from repro.pvm.region import PvmRegion
+
+
+class FaultMixin:
+    """Fault dispatch, grafted onto the PVM."""
+
+    def handle_fault(self, fault: FaultRecord) -> None:
+        """Resolve one hardware fault (the bus retries the access)."""
+        with self.lock:
+            self.clock.charge(CostEvent.FAULT_DISPATCH)
+            context = self._space_contexts.get(fault.space)
+            if context is None:
+                raise SegmentationFault(fault.address)
+            region = context.find_region(fault.address)
+            if region is None:
+                raise SegmentationFault(fault.address, context.name)
+            if region.protection & Protection.SYSTEM \
+                    and not fault.supervisor:
+                raise AccessViolation(
+                    f"user-mode access at {fault.address:#x} to a "
+                    "system region"
+                )
+            if not region.protection.allows(fault.write):
+                raise AccessViolation(
+                    f"{'write' if fault.write else 'read'} at "
+                    f"{fault.address:#x} violates region protection "
+                    f"{region.protection!r}"
+                )
+            if not region.touched:
+                region.touched = True
+                self.clock.charge(CostEvent.FIRST_TOUCH)
+            if fault.protection_violation and fault.write:
+                self.clock.charge(CostEvent.PROT_FAULT_RESOLVE)
+
+            vaddr = fault.address - (fault.address % self.page_size)
+            offset = region.segment_offset(vaddr)
+            cache = region.cache
+            if fault.write:
+                cache.stats.write_faults += 1
+            else:
+                cache.stats.read_faults += 1
+            self._resolve_mapped(context, region, cache, offset, vaddr,
+                                 fault.write)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_mapped(self, context: PvmContext, region: PvmRegion,
+                        cache: PvmCache, offset: int, vaddr: int,
+                        write: bool) -> None:
+        """Bring (cache, offset) to memory and map it at *vaddr*."""
+        space = context.space
+        cap = self._prot_cap_at(cache, offset)
+        region_hw = region.protection.to_hardware()
+        effective = region_hw & cap.to_hardware()
+        # Caps constrain access rights; the privilege level is the
+        # region's alone.
+        effective |= region_hw & Prot.SYSTEM
+
+        if write:
+            if not cap & Protection.WRITE:
+                # The segment manager capped writes (coherence): give it
+                # a chance to grant access, then re-check.
+                cache.provider.get_write_access(cache, offset,
+                                                self.page_size)
+                cap = self._prot_cap_at(cache, offset)
+                if not cap & Protection.WRITE:
+                    raise AccessViolation(
+                        f"write to {vaddr:#x} denied by cache protection"
+                    )
+                effective = region_hw & cap.to_hardware()
+                effective |= region_hw & Prot.SYSTEM
+            page = self._get_writable_page(cache, offset)
+            self.hw.map_page(space, vaddr, page, effective,
+                             consumer=(cache.cache_id, offset))
+            return
+
+        # Read access.
+        fragment = cache.parents.find(offset)
+        if (fragment is not None and fragment.payload.mode == "cor"
+                and offset not in cache.owned
+                and offset not in cache.pages):
+            # Copy-on-reference: any access materializes a private copy.
+            page = self._materialize_private(cache, offset)
+        else:
+            entry = self.global_map.lookup(cache, offset)
+            if isinstance(entry, CowStub):
+                page = self._stub_source_page(entry)
+            else:
+                page = self._get_page_for_read(cache, offset)
+
+        prot = effective
+        if page.cache is not cache:
+            # Sharing an ancestor's (or stub source's) frame: read-only,
+            # so a later write faults and materializes a private copy.
+            prot &= ~Prot.WRITE
+        else:
+            if self._needs_guard_resolution(cache, offset):
+                prot &= ~Prot.WRITE
+            if page.cow_stubs:
+                prot &= ~Prot.WRITE
+            if not page.write_granted:
+                prot &= ~Prot.WRITE
+        if not prot:
+            raise AccessViolation(f"no access possible at {vaddr:#x}")
+        self.hw.map_page(space, vaddr, page, prot,
+                         consumer=(cache.cache_id, offset))
+
+    def _needs_guard_resolution(self, cache: PvmCache, offset: int) -> bool:
+        """True while a write to (cache, offset) must still preserve the
+        original value into the history object."""
+        fragment = cache.guards.find(offset)
+        if fragment is None:
+            return False
+        link = fragment.payload
+        history_offset = link.offset + (offset - fragment.offset)
+        history = link.cache
+        if history_offset in history.pages or history_offset in history.owned:
+            return False
+        return True

@@ -1,0 +1,80 @@
+"""The PVM's single global map (section 4.1.1).
+
+"The PVM maintains a single global map, hashing real page descriptors
+by the page's cache, and its offset in the segment.  The global map is
+used to find real pages efficiently."  Entries may also be
+synchronization page stubs or copy-on-write page stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import InvalidOperation
+from repro.pvm.page import CowStub, RealPageDescriptor, SyncStub
+
+Entry = Union[RealPageDescriptor, SyncStub, CowStub]
+
+
+class GlobalMap:
+    """Hash of (cache id, page-aligned offset) -> page or stub."""
+
+    def __init__(self, page_size: int):
+        self.page_size = page_size
+        self._entries: Dict[Tuple[int, int], Entry] = {}
+
+    def _key(self, cache, offset: int) -> Tuple[int, int]:
+        if offset % self.page_size:
+            raise InvalidOperation(
+                f"global map offsets must be page-aligned, got {offset:#x}"
+            )
+        return (cache.cache_id, offset)
+
+    def lookup(self, cache, offset: int) -> Optional[Entry]:
+        """Entry for (cache, offset), or None."""
+        return self._entries.get(self._key(cache, offset))
+
+    def insert(self, cache, offset: int, entry: Entry) -> None:
+        """Insert an entry; the slot must be empty."""
+        key = self._key(cache, offset)
+        if key in self._entries:
+            raise InvalidOperation(f"global map slot {key} already occupied")
+        self._entries[key] = entry
+
+    def replace(self, cache, offset: int, entry: Entry) -> Entry:
+        """Replace an existing entry (stub resolution); returns the old one."""
+        key = self._key(cache, offset)
+        old = self._entries.get(key)
+        if old is None:
+            raise InvalidOperation(f"global map slot {key} is empty")
+        self._entries[key] = entry
+        return old
+
+    def remove(self, cache, offset: int) -> Entry:
+        """Remove and return the entry at (cache, offset)."""
+        key = self._key(cache, offset)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise InvalidOperation(f"global map slot {key} is empty")
+        return entry
+
+    def discard(self, cache, offset: int) -> Optional[Entry]:
+        """Remove the entry if present; return it or None."""
+        return self._entries.pop(self._key(cache, offset), None)
+
+    def entries_of(self, cache) -> List[Tuple[int, Entry]]:
+        """All (offset, entry) pairs of one cache, sorted by offset."""
+        cid = cache.cache_id
+        found = [
+            (offset, entry)
+            for (entry_cid, offset), entry in self._entries.items()
+            if entry_cid == cid
+        ]
+        found.sort(key=lambda pair: pair[0])
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[int, int], Entry]]:
+        return iter(list(self._entries.items()))

@@ -1,0 +1,163 @@
+"""The PVM's machine-dependent layer.
+
+"The PVM is layered into a hardware-independent layer (the PVM proper)
+and a (much smaller) hardware-dependent one, separated by a
+hardware-independent interface" (section 4).  This module is that
+hardware-dependent layer for the simulated MMUs: it is the only PVM
+code that talks to an :class:`~repro.hardware.mmu.MMU`, and it keeps
+the pmap-style reverse bookkeeping (which (space, vaddr) pairs map
+each real page) needed for shootdowns on eviction, protection changes
+and copy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.mmu import MMU, Prot
+from repro.kernel.clock import CostEvent, VirtualClock
+from repro.pvm.page import RealPageDescriptor
+
+
+class HardwareLayer:
+    """Machine-dependent PVM half: translation maintenance + shootdown."""
+
+    def __init__(self, mmu: MMU, clock: VirtualClock):
+        self.mmu = mmu
+        self.clock = clock
+        #: reverse map (space, page-aligned vaddr) -> page descriptor, so
+        #: that unmapping an address range can fix page bookkeeping.
+        self._vmap: Dict[Tuple[int, int], RealPageDescriptor] = {}
+        #: which (cache_id, offset) each translation *serves*.  A read
+        #: mapping may present an ancestor's frame on behalf of a copy
+        #: cache; when that cache later gains its own version, every
+        #: translation serving the (cache, offset) must be shot down or
+        #: stale bytes stay visible.
+        self._consumers: Dict[Tuple[int, int], set] = {}
+        self._consumer_of: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    @property
+    def page_size(self) -> int:
+        """The MMU's page size."""
+        return self.mmu.page_size
+
+    def _page_vaddr(self, vaddr: int) -> int:
+        return vaddr - (vaddr % self.page_size)
+
+    # -- space lifecycle ---------------------------------------------------------
+
+    def create_space(self) -> int:
+        """Create a hardware address space."""
+        return self.mmu.create_space()
+
+    def destroy_space(self, space: int) -> None:
+        """Unmap everything and destroy the space."""
+        for (entry_space, vaddr) in list(self._vmap):
+            if entry_space == space:
+                self.unmap_page(space, vaddr)
+        self.mmu.destroy_space(space)
+
+    # -- mapping maintenance --------------------------------------------------------
+
+    def map_page(self, space: int, vaddr: int, page: RealPageDescriptor,
+                 prot: Prot,
+                 consumer: Optional[Tuple[int, int]] = None) -> None:
+        """Install (or update) the translation vaddr -> page.
+
+        *consumer* names the (cache_id, offset) this translation serves
+        — usually the page's own identity, but an ancestor's frame may
+        be presented on a descendant's behalf.
+        """
+        vaddr = self._page_vaddr(vaddr)
+        previous = self._vmap.get((space, vaddr))
+        if previous is not None and previous is not page:
+            previous.mappings.discard((space, vaddr))
+        self._drop_consumer(space, vaddr)
+        self.mmu.map(space, vaddr, page.frame, prot)
+        self._vmap[(space, vaddr)] = page
+        page.mappings.add((space, vaddr))
+        if consumer is None:
+            consumer = (page.cache.cache_id, page.offset)
+        self._consumers.setdefault(consumer, set()).add((space, vaddr))
+        self._consumer_of[(space, vaddr)] = consumer
+        self.clock.charge(CostEvent.PAGE_MAP)
+
+    def _drop_consumer(self, space: int, vaddr: int) -> None:
+        key = self._consumer_of.pop((space, vaddr), None)
+        if key is not None:
+            entries = self._consumers.get(key)
+            if entries is not None:
+                entries.discard((space, vaddr))
+                if not entries:
+                    del self._consumers[key]
+
+    def unmap_page(self, space: int, vaddr: int) -> bool:
+        """Drop one translation; True when one existed."""
+        vaddr = self._page_vaddr(vaddr)
+        page = self._vmap.pop((space, vaddr), None)
+        if page is not None:
+            page.mappings.discard((space, vaddr))
+        self._drop_consumer(space, vaddr)
+        existed = self.mmu.unmap(space, vaddr)
+        if existed:
+            self.clock.charge(CostEvent.PAGE_UNMAP)
+        return existed
+
+    def shootdown_served(self, cache, offset: int) -> int:
+        """Unmap every translation serving (cache, offset), whatever
+        frame backs it.  Called when the cache gains its own version of
+        the page and ancestor-frame read mappings would go stale."""
+        count = 0
+        for space, vaddr in list(self._consumers.get(
+                (cache.cache_id, offset), ())):
+            self.unmap_page(space, vaddr)
+            count += 1
+        return count
+
+    def unmap_range(self, space: int, vaddr: int, size: int) -> int:
+        """Drop all translations overlapping [vaddr, vaddr+size).
+
+        Charges one REGION_INVALIDATE_PAGE per *virtual* page in the
+        range — invalidating a region costs work proportional to its
+        size even when nothing is resident (section 5.3.2's observed
+        create/destroy scaling).
+        """
+        count = 0
+        end = vaddr + size
+        addr = self._page_vaddr(vaddr)
+        while addr < end:
+            if self.unmap_page(space, addr):
+                count += 1
+            self.clock.charge(CostEvent.REGION_INVALIDATE_PAGE)
+            addr += self.page_size
+        return count
+
+    def protect_mapping(self, space: int, vaddr: int, prot: Prot) -> None:
+        """Change protection of one existing translation."""
+        self.mmu.protect(space, self._page_vaddr(vaddr), prot)
+
+    def mapping_of(self, space: int, vaddr: int) -> Optional[RealPageDescriptor]:
+        """Page currently translated at (space, vaddr), if any."""
+        return self._vmap.get((space, self._page_vaddr(vaddr)))
+
+    # -- page-centric operations ------------------------------------------------------
+
+    def shootdown(self, page: RealPageDescriptor) -> int:
+        """Remove every translation of *page* (eviction, move)."""
+        count = 0
+        for space, vaddr in list(page.mappings):
+            self.unmap_page(space, vaddr)
+            count += 1
+        return count
+
+    def downgrade_page(self, page: RealPageDescriptor, prot: Prot = Prot.READ) -> None:
+        """Set every translation of *page* to *prot* (typically
+        read-only, when the page becomes a deferred-copy source).
+
+        Charges one PAGE_PROTECT for the page, matching the paper's
+        per-page protection accounting.
+        """
+        for space, vaddr in list(page.mappings):
+            self.protect_mapping(space, vaddr, prot)
+        self.clock.charge(CostEvent.PAGE_PROTECT)
+

@@ -1,0 +1,25 @@
+"""Segments, mappers and capabilities (sections 5.1.1 - 5.1.2).
+
+Segments are implemented by independent actors, their *mappers*,
+designated by sparse capabilities containing the mapper's port name
+and an opaque key.  Mappers export a standard read/write interface;
+*default* mappers additionally allocate temporary (swap) segments.
+"""
+
+from repro.segments.capability import Capability
+from repro.segments.disk import SimulatedDisk
+from repro.segments.mapper import Mapper
+from repro.segments.mem_mapper import MemoryMapper
+from repro.segments.swap_mapper import SwapMapper
+from repro.segments.file_mapper import DiskMapper
+from repro.segments.compressed import CompressedSwapProvider
+
+__all__ = [
+    "Capability",
+    "SimulatedDisk",
+    "Mapper",
+    "MemoryMapper",
+    "SwapMapper",
+    "DiskMapper",
+    "CompressedSwapProvider",
+]

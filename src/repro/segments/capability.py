@@ -1,0 +1,46 @@
+"""Sparse capabilities designating segments (section 5.1.1).
+
+"Segments are designated by sparse capabilities (similar to Amoeba's),
+containing the mapper's port name and a key.  The key is opaque data
+of the mapper, allowing it to manage and protect segment access."
+
+Keys are drawn from a sparse 64-bit space: guessing one is hopeless,
+which is the whole protection model — there is no kernel-side rights
+table to consult.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+# A deterministic generator keeps tests reproducible while the key
+# space stays sparse (the sparseness, not the unpredictability, is
+# what the simulation needs to exercise).
+_key_rng = random.Random(0x0C0FFEE)
+_serial = itertools.count(1)
+
+
+def _new_key() -> int:
+    return (_key_rng.getrandbits(48) << 16) | (next(_serial) & 0xFFFF)
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An unforgeable reference to a segment (or a local cache).
+
+    ``port`` names the managing actor's port; ``key`` is opaque to
+    everyone but that actor.
+    """
+
+    port: str
+    key: int = field(default_factory=_new_key)
+
+    @property
+    def uid(self) -> str:
+        """A stable identity string (hashable across structures)."""
+        return f"{self.port}:{self.key:016x}"
+
+    def __repr__(self) -> str:
+        return f"Capability({self.port}, {self.key:#018x})"

@@ -1,0 +1,97 @@
+"""A compressed-memory pager (zram avant la lettre).
+
+The GMI's whole point is that data-management policy lives *outside*
+the memory manager: a provider can back pages with anything.  This one
+keeps pushed-out pages zlib-compressed in memory — trading CPU for
+capacity, decades before Linux's zram did the same thing behind the
+same kind of pager interface.
+
+Compression cost is charged to the virtual clock per byte processed,
+so the capacity/latency trade is measurable against the disk-backed
+swap (see ``benchmarks/test_ablation_compressed_swap.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+from repro.gmi.types import AccessMode
+from repro.gmi.upcalls import SegmentProvider
+from repro.kernel.clock import VirtualClock
+
+
+class CompressedSwapProvider(SegmentProvider):
+    """Zero-fill segments whose evicted pages compress into RAM.
+
+    Parameters
+    ----------
+    clock:
+        Charged ``compress_ms_per_kb`` / ``decompress_ms_per_kb`` per
+        transfer when given (a few hundred MB/s in 1989-ms terms would
+        be fantasy; the defaults model a ~10 MB/s software codec).
+    level:
+        zlib level; 1 is plenty for page images.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None,
+                 compress_ms_per_kb: float = 0.10,
+                 decompress_ms_per_kb: float = 0.05,
+                 level: int = 1):
+        self.clock = clock
+        self.compress_ms_per_kb = compress_ms_per_kb
+        self.decompress_ms_per_kb = decompress_ms_per_kb
+        self.level = level
+        self._store: Dict[Tuple[int, int], bytes] = {}
+        self.raw_bytes = 0
+        self.compressed_bytes = 0
+        self.compressions = 0
+        self.decompressions = 0
+
+    def _charge(self, raw_len: int, per_kb: float) -> None:
+        if self.clock is not None:
+            self.clock.advance((raw_len / 1024.0) * per_kb)
+
+    # -- SegmentProvider ---------------------------------------------------------
+
+    def pull_in(self, cache, offset: int, size: int,
+                access_mode: AccessMode) -> None:
+        blob = self._store.get((id(cache), offset))
+        if blob is None:
+            cache.fill_zero(offset, size)
+            return
+        data = zlib.decompress(blob)
+        self.decompressions += 1
+        self._charge(len(data), self.decompress_ms_per_kb)
+        cache.fill_up(offset, data[:size])
+
+    def push_out(self, cache, offset: int, size: int) -> None:
+        data = cache.copy_back(offset, size)
+        blob = zlib.compress(data, self.level)
+        self.compressions += 1
+        self.raw_bytes += len(data)
+        self.compressed_bytes += len(blob)
+        self._charge(len(data), self.compress_ms_per_kb)
+        self._store[(id(cache), offset)] = blob
+
+    def segment_create(self, cache) -> object:
+        return f"zswap:{id(cache):x}"
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw / compressed over everything pushed so far (1.0 = none)."""
+        if self.compressed_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.compressed_bytes
+
+    @property
+    def stored_pages(self) -> int:
+        """Pages held compressed right now."""
+        return len(self._store)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Compressed bytes held right now."""
+        return sum(len(blob) for blob in self._store.values())

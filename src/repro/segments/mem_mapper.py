@@ -1,0 +1,55 @@
+"""An in-memory mapper: segments are byte arrays.
+
+The simplest real mapper — used for program images (text/data of
+Chorus/MIX binaries) and as a fast backing store in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import CapabilityError
+from repro.segments.capability import Capability
+from repro.segments.mapper import Mapper
+
+
+class MemoryMapper(Mapper):
+    """Serves segments from process-local byte arrays."""
+
+    def __init__(self, port: str = "mem-mapper"):
+        super().__init__(port)
+        self._segments: Dict[int, bytearray] = {}
+
+    def register(self, data: bytes) -> Capability:
+        """Create a segment holding *data*; return its capability."""
+        capability = Capability(self.port)
+        self._segments[capability.key] = bytearray(data)
+        return capability
+
+    def _segment(self, key: int) -> bytearray:
+        segment = self._segments.get(key)
+        if segment is None:
+            raise CapabilityError(f"unknown segment key {key:#x}")
+        return segment
+
+    def read_segment(self, key: int, offset: int, size: int) -> bytes:
+        self.read_requests += 1
+        segment = self._segment(key)
+        chunk = bytes(segment[offset:offset + size])
+        if len(chunk) < size:                      # past-EOF reads are zeroes
+            chunk += bytes(size - len(chunk))
+        return chunk
+
+    def write_segment(self, key: int, offset: int, data: bytes) -> None:
+        self.write_requests += 1
+        segment = self._segment(key)
+        end = offset + len(data)
+        if end > len(segment):
+            segment.extend(bytes(end - len(segment)))
+        segment[offset:end] = data
+
+    def segment_size(self, key: int) -> int:
+        return len(self._segment(key))
+
+    def destroy_segment(self, key: int) -> None:
+        self._segments.pop(key, None)

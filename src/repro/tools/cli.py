@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+tables    regenerate Tables 6 and 7 plus the 5.3.2 derived metrics
+loc       print the Table 5 component-size analogue
+figure3   replay the Figure 3 scenarios with live tree rendering
+info      one-paragraph summary of the reproduction and its versions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def cmd_tables(_args) -> int:
+    from repro.bench.experiments import (
+        cow_table, derived_metrics, zero_fill_table,
+    )
+    from repro.bench.paper_values import (
+        PAPER_TABLE6_CHORUS, PAPER_TABLE6_MACH,
+        PAPER_TABLE7_CHORUS, PAPER_TABLE7_MACH,
+    )
+    from repro.bench.tables import format_grid, format_series
+
+    chorus6 = zero_fill_table("chorus")
+    print(format_grid("Table 6 / Chorus: zero-filled allocation "
+                      "(virtual ms, paper in parens)",
+                      chorus6, PAPER_TABLE6_CHORUS))
+    print()
+    print(format_grid("Table 6 / Mach", zero_fill_table("mach"),
+                      PAPER_TABLE6_MACH))
+    print()
+    chorus7 = cow_table("chorus")
+    print(format_grid("Table 7 / Chorus: copy-on-write",
+                      chorus7, PAPER_TABLE7_CHORUS))
+    print()
+    print(format_grid("Table 7 / Mach", cow_table("mach"),
+                      PAPER_TABLE7_MACH))
+    print()
+    metrics = derived_metrics(chorus6, chorus7)
+    rows = [(key, round(value, 4)) for key, value in metrics.items()]
+    print(format_series("Section 5.3.2 derived metrics",
+                        ("quantity", "measured"), rows))
+    return 0
+
+
+def cmd_loc(_args) -> int:
+    from repro.bench.loc import component_sizes, machine_dependent_fraction
+    from repro.bench.tables import format_series
+
+    print(format_series("Component sizes (Python lines)",
+                        ("component", "lines"), component_sizes()))
+    fraction = machine_dependent_fraction()
+    print(f"\nmachine-dependent share of the PVM: {fraction:.1%}")
+    return 0
+
+
+def cmd_figure3(_args) -> int:
+    from repro import CopyPolicy, PagedVirtualMemory, ZeroFillProvider
+    from repro.tools import render_cache_tree
+    from repro.units import MB
+
+    vm = PagedVirtualMemory(memory_size=8 * MB)
+    page = vm.page_size
+    src = vm.cache_create(ZeroFillProvider(), name="src")
+    for index in range(4):
+        src.write(index * page, bytes([index + 1]) * 8)
+    steps = []
+    cpy1 = vm.cache_create(ZeroFillProvider(), name="cpy1")
+    src.copy(0, cpy1, 0, 4 * page, policy=CopyPolicy.HISTORY)
+    steps.append("3.a: first copy")
+    src.write(page, b"2'")
+    steps.append("source write: pre-image pushed")
+    cpy2 = vm.cache_create(ZeroFillProvider(), name="cpy2")
+    src.copy(0, cpy2, 0, 4 * page, policy=CopyPolicy.HISTORY)
+    steps.append("3.c: working object spliced")
+    cpy3 = vm.cache_create(ZeroFillProvider(), name="cpy3")
+    src.copy(0, cpy3, 0, 4 * page, policy=CopyPolicy.HISTORY)
+    steps.append("3.d: second working object")
+    print(f"after: {'; '.join(steps)}\n")
+    print(render_cache_tree(src))
+    return 0
+
+
+def cmd_info(_args) -> int:
+    import repro
+    managers = ["pvm", "mach-shadow", "eager", "minimal-rt"]
+    print(
+        f"repro {repro.__version__} — reproduction of 'Generic Virtual "
+        "Memory Management for Operating System Kernels' (SOSP 1989).\n"
+        f"memory managers: {', '.join(managers)}\n"
+        "MMU ports: paged (two-level), inverted (hashed), segmented "
+        "(descriptor+paged)\n"
+        "see README.md, DESIGN.md, EXPERIMENTS.md, docs/PAPER_MAP.md"
+    )
+    return 0
+
+
+COMMANDS = {
+    "tables": cmd_tables,
+    "loc": cmd_loc,
+    "figure3": cmd_figure3,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Chorus GMI/PVM reproduction toolbox",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="what to run")
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":                      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Per-context residency accounting (an actor-level `ps`).
+
+Answers "who is using real memory?" — resident pages per context, per
+region, with sharing honestly attributed: a frame mapped by several
+contexts counts fully for each (``rss``) and fractionally in
+``pss``-style shares, like Linux's smaps distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class ContextResidency:
+    """Residency summary for one context."""
+    name: str
+    rss_pages: int            # pages with a translation in this context
+    pss_pages: float          # same, each divided by its mapping count
+    regions: Dict[str, int]   # region label -> resident pages
+
+
+def residency_report(vm) -> List[ContextResidency]:
+    """Residency per live context, sorted by RSS descending."""
+    reports = []
+    for context in vm.contexts():
+        rss = 0
+        pss = 0.0
+        regions: Dict[str, int] = {}
+        for region in context.get_region_list():
+            resident = 0
+            for vaddr in region.page_addresses():
+                page = vm.hw.mapping_of(context.space, vaddr)
+                if page is None:
+                    continue
+                resident += 1
+                rss += 1
+                pss += 1.0 / max(1, len(page.mappings))
+            label = f"[{region.address:#x}]->{region.cache.name}"
+            regions[label] = resident
+        reports.append(ContextResidency(
+            name=context.name, rss_pages=rss, pss_pages=round(pss, 2),
+            regions=regions,
+        ))
+    reports.sort(key=lambda report: report.rss_pages, reverse=True)
+    return reports
+
+
+def format_residency(vm) -> str:
+    """A ps-style table of the report."""
+    lines = [f"{'context':>16} {'rss':>6} {'pss':>8}  regions"]
+    for report in residency_report(vm):
+        region_bits = ", ".join(
+            f"{label}:{pages}" for label, pages in report.regions.items()
+            if pages) or "-"
+        lines.append(
+            f"{report.name[:16]:>16} {report.rss_pages:6d} "
+            f"{report.pss_pages:8.2f}  {region_bits}")
+    return "\n".join(lines)

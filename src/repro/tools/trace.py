@@ -1,0 +1,95 @@
+"""Event tracing: a recording wrapper around the virtual clock.
+
+Attach an :class:`EventTrace` to any component's clock to capture the
+ordered stream of mechanism events with timestamps — the raw material
+for debugging deferred-copy behaviour and for custom analyses the
+counters alone cannot answer (e.g. "what happened between the copy and
+the first fault?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel.clock import CostEvent, VirtualClock
+
+
+@dataclass
+class TraceRecord:
+    """One charged event: (virtual time before charge, event, count)."""
+
+    time_ms: float
+    event: CostEvent
+    count: int
+
+
+class EventTrace:
+    """Records every ``charge`` on a clock until detached.
+
+    >>> clock = VirtualClock()
+    >>> trace = EventTrace(clock)
+    >>> clock.charge(CostEvent.FRAME_ALLOC)
+    0.0
+    >>> trace.records[0].event
+    <CostEvent.FRAME_ALLOC: 'frame_alloc'>
+    """
+
+    def __init__(self, clock: VirtualClock,
+                 only: Optional[set] = None):
+        self.clock = clock
+        self.only = only
+        self.records: List[TraceRecord] = []
+        self._original_charge: Callable = clock.charge
+        clock.charge = self._recording_charge
+        self._attached = True
+
+    def _recording_charge(self, event: CostEvent, count: int = 1) -> float:
+        if count > 0 and (self.only is None or event in self.only):
+            self.records.append(
+                TraceRecord(self.clock.now(), event, count))
+        return self._original_charge(event, count)
+
+    def detach(self) -> None:
+        """Stop recording; restore the clock's charge method."""
+        if self._attached:
+            self.clock.charge = self._original_charge
+            self._attached = False
+
+    def __enter__(self) -> "EventTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self) -> List[CostEvent]:
+        """The event sequence, expanded (no counts)."""
+        expanded: List[CostEvent] = []
+        for record in self.records:
+            expanded.extend([record.event] * record.count)
+        return expanded
+
+    def histogram(self) -> Dict[CostEvent, int]:
+        """Total count per event over the recording."""
+        result: Dict[CostEvent, int] = {}
+        for record in self.records:
+            result[record.event] = result.get(record.event, 0) + record.count
+        return result
+
+    def between(self, start_ms: float, end_ms: float) -> List[TraceRecord]:
+        """Records with start_ms <= time < end_ms."""
+        return [record for record in self.records
+                if start_ms <= record.time_ms < end_ms]
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable listing of the first *limit* records."""
+        lines = []
+        for record in self.records[:limit]:
+            suffix = f" x{record.count}" if record.count > 1 else ""
+            lines.append(
+                f"{record.time_ms:10.3f} ms  {record.event.value}{suffix}")
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Size units and page-geometry helpers.
+
+The paper's evaluation platform (a Sun-3/60) uses 8 Kbyte pages; the
+simulated hardware defaults to the same geometry so that the benchmark
+grids of Tables 6 and 7 (8 Kb / 256 Kb / 1024 Kb regions, i.e. 1 / 32 /
+128 pages) map one-to-one onto the paper's rows and columns.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+
+#: Page size of the paper's evaluation platform (Sun-3/60).
+SUN3_PAGE_SIZE = 8 * KB
+
+#: Default page size used throughout the simulation.
+DEFAULT_PAGE_SIZE = SUN3_PAGE_SIZE
+
+#: Default amount of simulated physical memory (the Sun-3/60 had 8 MB).
+DEFAULT_PHYSICAL_MEMORY = 8 * MB
+
+#: Maximum IPC message size (section 5.1.6: "64 Kbytes in the current
+#: implementation").
+IPC_MESSAGE_LIMIT = 64 * KB
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def page_floor(offset: int, page_size: int) -> int:
+    """Round *offset* down to a page boundary."""
+    return offset & ~(page_size - 1)
+
+
+def page_ceil(offset: int, page_size: int) -> int:
+    """Round *offset* up to a page boundary."""
+    return (offset + page_size - 1) & ~(page_size - 1)
+
+
+def page_index(offset: int, page_size: int) -> int:
+    """Return the index of the page containing *offset*."""
+    return offset // page_size
+
+
+def page_offset(offset: int, page_size: int) -> int:
+    """Return the offset of *offset* within its page."""
+    return offset & (page_size - 1)
+
+
+def pages_spanned(offset: int, size: int, page_size: int) -> int:
+    """Number of pages touched by the byte range [offset, offset+size)."""
+    if size <= 0:
+        return 0
+    first = page_floor(offset, page_size)
+    last = page_ceil(offset + size, page_size)
+    return (last - first) // page_size
+
+
+def page_range(offset: int, size: int, page_size: int):
+    """Yield the page-aligned start offsets covering [offset, offset+size)."""
+    if size <= 0:
+        return
+    current = page_floor(offset, page_size)
+    end = offset + size
+    while current < end:
+        yield current
+        current += page_size

@@ -1,0 +1,20 @@
+"""Workload generators for the ablation benchmarks."""
+
+from repro.workloads.fork_workload import fork_exit_chain, shell_pipeline
+from repro.workloads.make_workload import large_make
+from repro.workloads.ipc_workload import message_sweep
+from repro.workloads.traces import (
+    loop_trace, phase_trace, replay, uniform_trace, zipf_trace,
+)
+
+__all__ = [
+    "fork_exit_chain",
+    "shell_pipeline",
+    "large_make",
+    "message_sweep",
+    "uniform_trace",
+    "zipf_trace",
+    "loop_trace",
+    "phase_trace",
+    "replay",
+]

@@ -1,0 +1,70 @@
+"""The experiment runners themselves (not the tables they produce)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    cow_table, derived_metrics, run_cow_cell, run_zero_fill_cell,
+    zero_fill_table,
+)
+from repro.bench.tables import REGION_SIZES_KB, TOUCH_COUNTS, cell_valid
+
+
+class TestDeterminism:
+    def test_zero_fill_cell_reproducible(self):
+        assert run_zero_fill_cell("chorus", 256, 32) == \
+            run_zero_fill_cell("chorus", 256, 32)
+
+    def test_cow_cell_reproducible(self):
+        assert run_cow_cell("mach", 256, 32) == run_cow_cell("mach", 256, 32)
+
+
+class TestGridStructure:
+    def test_grids_cover_exactly_valid_cells(self):
+        grid = zero_fill_table("chorus")
+        expected = {
+            (region, pages)
+            for region in REGION_SIZES_KB
+            for pages in TOUCH_COUNTS
+            if cell_valid(region, pages)
+        }
+        assert set(grid) == expected
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            run_zero_fill_cell("multics", 8, 0)
+
+
+class TestMonotonicity:
+    """Physical sanity conditions any measurement must satisfy."""
+
+    def test_more_touched_pages_cost_more(self):
+        grid = zero_fill_table("chorus")
+        assert grid[(1024, 0)] < grid[(1024, 1)] < grid[(1024, 32)] \
+            < grid[(1024, 128)]
+
+    def test_more_dirty_pages_cost_more(self):
+        grid = cow_table("chorus")
+        assert grid[(256, 0)] < grid[(256, 1)] < grid[(256, 32)]
+
+    def test_bigger_regions_never_cheaper(self):
+        grid = zero_fill_table("mach")
+        for pages in (0, 1):
+            assert grid[(8, pages)] <= grid[(256, pages)] \
+                <= grid[(1024, pages)]
+
+
+class TestDerivedFormulaConsistency:
+    def test_metrics_self_consistent(self):
+        zero_fill = zero_fill_table("chorus")
+        cow = cow_table("chorus")
+        metrics = derived_metrics(zero_fill, cow)
+        # The tree-setup + per-page-protect decomposition must rebuild
+        # the (1024, 0) cell from the (8, 0)-ish base.
+        rebuilt = (zero_fill[(8, 0)]
+                   + metrics["history_tree_setup_ms"]
+                   + 128 * metrics["protect_per_page_ms"])
+        assert rebuilt == pytest.approx(cow[(1024, 0)], rel=0.06)
+        # And the COW per-page figure rebuilds the dirtiest cell.
+        rebuilt_full = cow[(1024, 0)] + 128 * (
+            metrics["cow_overhead_per_page_ms"] + 1.4)
+        assert rebuilt_full == pytest.approx(cow[(1024, 128)], rel=0.01)

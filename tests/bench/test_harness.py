@@ -1,0 +1,109 @@
+"""The benchmark harness itself: formatting, cost profiles, LoC table."""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.bench.loc import COMPONENTS, component_sizes, count_lines
+from repro.bench.tables import (
+    REGION_SIZES_KB, TOUCH_COUNTS, cell_valid, format_grid, format_series,
+    shape_check_faster,
+)
+from repro.kernel.clock import CostEvent
+
+
+class TestCellValidity:
+    def test_cannot_touch_more_pages_than_region(self):
+        assert not cell_valid(8, 32)
+        assert not cell_valid(256, 128)
+        assert cell_valid(1024, 128)
+        assert cell_valid(8, 1)
+
+    def test_grid_axes_match_paper(self):
+        assert REGION_SIZES_KB == (8, 256, 1024)
+        assert TOUCH_COUNTS == (0, 1, 32, 128)
+
+
+class TestFormatting:
+    def full_grid(self, value=1.0):
+        return {
+            (region, pages): value
+            for region in REGION_SIZES_KB
+            for pages in TOUCH_COUNTS
+            if cell_valid(region, pages)
+        }
+
+    def test_format_grid_marks_invalid_cells(self):
+        text = format_grid("t", self.full_grid())
+        assert "-" in text
+        assert "1.00 ms" in text
+
+    def test_format_grid_with_reference(self):
+        text = format_grid("t", self.full_grid(2.0),
+                           reference=self.full_grid(3.0))
+        assert "2.00 ms (3.00)" in text
+
+    def test_format_series_alignment(self):
+        text = format_series("title", ("a", "bee"),
+                             [(1, 2.5), (10, 0.125)])
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "0.125" in text
+
+    def test_shape_check_reports_violations(self):
+        fast = self.full_grid(1.0)
+        slow = self.full_grid(2.0)
+        assert shape_check_faster(fast, slow) == []
+        violations = shape_check_faster(slow, fast)
+        assert len(violations) == len(fast)
+
+
+class TestCostProfiles:
+    def test_chorus_faster_than_mach_per_primitive(self):
+        for event in (CostEvent.REGION_CREATE, CostEvent.FAULT_DISPATCH,
+                      CostEvent.FRAME_ALLOC, CostEvent.PAGE_MAP):
+            assert costmodel.CHORUS_SUN360.price(event) < \
+                costmodel.MACH_SUN360.price(event)
+
+    def test_data_movement_identical(self):
+        """Same hardware: bcopy/bzero cost the same in both profiles."""
+        for event in (CostEvent.BCOPY_PAGE, CostEvent.BZERO_PAGE):
+            assert costmodel.CHORUS_SUN360.price(event) == \
+                costmodel.MACH_SUN360.price(event)
+
+    def test_calibration_identities(self):
+        """The decompositions must add up to the paper's 5.3.2 numbers."""
+        chorus = costmodel.CHORUS_SUN360
+        zero_fill = (chorus.price(CostEvent.FAULT_DISPATCH)
+                     + chorus.price(CostEvent.FRAME_ALLOC)
+                     + chorus.price(CostEvent.PAGE_MAP))
+        assert zero_fill == pytest.approx(0.27, abs=0.005)
+        cow = (zero_fill + chorus.price(CostEvent.HISTORY_LOOKUP)
+               + chorus.price(CostEvent.PROT_FAULT_RESOLVE))
+        assert cow == pytest.approx(0.31, abs=0.005)
+
+    def test_nucleus_factories_wire_profiles(self):
+        chorus = costmodel.chorus_nucleus()
+        assert chorus.vm.name == "pvm"
+        assert chorus.clock.model.name == "chorus-sun3/60"
+        mach = costmodel.mach_nucleus()
+        assert mach.vm.name == "mach-shadow"
+        assert mach.clock.model.name == "mach-sun3/60"
+
+
+class TestLocTable:
+    def test_every_component_path_exists(self):
+        from repro.bench.loc import PACKAGE_ROOT
+        for name, paths in COMPONENTS.items():
+            for rel in paths:
+                assert (PACKAGE_ROOT / rel).exists(), f"{name}: {rel}"
+
+    def test_counts_positive_and_stable(self):
+        sizes = component_sizes()
+        assert all(lines > 0 for _, lines in sizes)
+        assert sizes == component_sizes()          # deterministic
+
+    def test_count_lines_on_file_and_dir(self):
+        from repro.bench.loc import PACKAGE_ROOT
+        single = count_lines(PACKAGE_ROOT / "units.py")
+        package = count_lines(PACKAGE_ROOT / "gmi")
+        assert 0 < single < package

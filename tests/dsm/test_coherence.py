@@ -1,0 +1,128 @@
+"""DSM coherence protocol over the GMI cache-control operations."""
+
+import pytest
+
+from repro.dsm import PageState, make_dsm_cluster
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def cluster():
+    return make_dsm_cluster(["a", "b", "c"], segment_pages=4)
+
+
+class TestReadSharing:
+    def test_fresh_segment_reads_zero_everywhere(self, cluster):
+        manager, sites = cluster
+        for site in sites.values():
+            assert site.read(0, 8) == bytes(8)
+        assert manager.state_of(0) is PageState.SHARED
+        assert manager._entry(0).readers == {"a", "b", "c"}
+
+    def test_reader_sees_writers_value(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"from a")
+        assert sites["b"].read(0, 6) == b"from a"
+        assert sites["c"].read(0, 6) == b"from a"
+
+    def test_read_downgrades_exclusive_owner(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"owned")
+        assert manager.state_of(0) is PageState.EXCLUSIVE
+        sites["b"].read(0, 5)
+        assert manager.state_of(0) is PageState.SHARED
+        assert manager.owner_of(0) is None
+
+
+class TestWriteOwnership:
+    def test_first_write_takes_exclusive(self, cluster):
+        manager, sites = cluster
+        sites["b"].write(PAGE, b"mine")
+        assert manager.state_of(1) is PageState.EXCLUSIVE
+        assert manager.owner_of(1) == "b"
+
+    def test_ownership_migrates(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"first")
+        sites["b"].write(0, b"secnd")
+        assert manager.owner_of(0) == "b"
+        assert sites["a"].read(0, 5) == b"secnd"
+
+    def test_writes_invalidate_readers(self, cluster):
+        manager, sites = cluster
+        for site in sites.values():
+            site.read(0, 4)
+        before = manager.stats["invalidations"]
+        sites["a"].write(0, b"bump")
+        assert manager.stats["invalidations"] - before == 2
+        assert sites["b"].read(0, 4) == b"bump"
+
+    def test_repeated_writes_by_owner_are_local(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"v1")
+        grants = manager.stats["write_grants"]
+        sites["a"].write(0, b"v2")
+        sites["a"].write(2, b"v3")
+        # No further protocol traffic: the page is already EXCLUSIVE.
+        assert manager.stats["write_grants"] == grants
+
+    def test_different_pages_different_owners(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"pg0")
+        sites["b"].write(PAGE, b"pg1")
+        sites["c"].write(2 * PAGE, b"pg2")
+        assert manager.owner_of(0) == "a"
+        assert manager.owner_of(1) == "b"
+        assert manager.owner_of(2) == "c"
+
+
+class TestSequentialConsistency:
+    def test_interleaved_updates_total_order(self, cluster):
+        """Every site observes the last write, in every interleaving we
+        can drive from outside."""
+        manager, sites = cluster
+        order = ["a", "b", "c", "b", "a", "c", "c", "a", "b"]
+        for version, writer in enumerate(order):
+            sites[writer].write(0, bytes([version + 1]) * 4)
+            # All sites agree immediately after each write.
+            values = {site.read(0, 4) for site in sites.values()}
+            assert values == {bytes([version + 1]) * 4}
+
+    def test_no_lost_updates_across_pages(self, cluster):
+        manager, sites = cluster
+        for round_index in range(3):
+            for page, (name, site) in enumerate(sorted(sites.items())):
+                site.write(page * PAGE, f"{name}{round_index}".encode())
+        for page, name in enumerate(sorted(sites)):
+            expected = f"{name}2".encode()
+            for site in sites.values():
+                assert site.read(page * PAGE, len(expected)) == expected
+
+
+class TestDetach:
+    def test_detach_flushes_owned_pages(self, cluster):
+        manager, sites = cluster
+        sites["a"].write(0, b"persist")
+        manager.detach("a")
+        assert sites["b"].read(0, 7) == b"persist"
+
+    def test_detached_site_not_invalidated(self, cluster):
+        manager, sites = cluster
+        sites["a"].read(0, 1)
+        manager.detach("a")
+        before = manager.stats["invalidations"]
+        sites["b"].write(0, b"x")
+        assert manager.stats["invalidations"] == before
+
+
+class TestProtocolCost:
+    def test_ping_pong_costs_scale_with_alternations(self, cluster):
+        manager, sites = cluster
+        for index in range(10):
+            writer = "a" if index % 2 == 0 else "b"
+            sites[writer].write(0, bytes([index]))
+        # Each alternation flushes+invalidates the previous owner.
+        assert manager.stats["owner_syncs"] >= 9
+        assert sites["c"].read(0, 1) == bytes([9])

@@ -1,0 +1,80 @@
+"""DSM over the real (simulated) network: coherence + wire costs."""
+
+import pytest
+
+from repro.dsm.remote import NetworkedDsm
+from repro.net import Network
+from repro.nucleus import Nucleus
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def cluster():
+    network = Network(latency_ms=3.0)
+    nuclei = {}
+    for name in ("m", "a", "b"):
+        nucleus = Nucleus(memory_size=2 * MB)
+        network.register(name, nucleus)
+        nuclei[name] = nucleus
+    dsm = NetworkedDsm(network, "m", segment_pages=2, page_size=PAGE)
+    sites = {name: dsm.join(name, nuclei[name]) for name in ("a", "b")}
+    return network, dsm, sites
+
+
+class TestRemoteCoherence:
+    def test_reader_sees_remote_writers_value(self, cluster):
+        network, dsm, sites = cluster
+        sites["a"].write(0, b"written at a")
+        assert sites["b"].read(0, 12) == b"written at a"
+
+    def test_ownership_migrates_over_the_wire(self, cluster):
+        network, dsm, sites = cluster
+        sites["a"].write(0, b"version a")
+        sites["b"].write(0, b"version b")
+        assert dsm.manager.owner_of(0) == "b"
+        # The read syncs b and downgrades the page to SHARED.
+        assert sites["a"].read(0, 9) == b"version b"
+        assert dsm.manager.owner_of(0) is None
+
+    def test_protocol_pays_network_latency(self, cluster):
+        network, dsm, sites = cluster
+        clock_a = sites["a"].nucleus.clock
+        before = clock_a.now()
+        sites["a"].write(0, b"x")           # pull + grant cross the wire
+        assert clock_a.now() - before >= 2 * 3.0
+
+    def test_message_counts_scale_with_protocol(self, cluster):
+        network, dsm, sites = cluster
+        baseline = network.messages
+        sites["a"].write(0, b"1")           # pull req/rep + grant req/rep
+        after_first = network.messages
+        assert after_first - baseline >= 4
+        sites["a"].write(2, b"2")           # owned: no wire traffic
+        assert network.messages == after_first
+
+    def test_ping_pong_generates_sync_traffic(self, cluster):
+        network, dsm, sites = cluster
+        for index in range(4):
+            writer = "a" if index % 2 == 0 else "b"
+            sites[writer].write(0, bytes([index + 1]))
+        assert sites["a"].read(0, 1) == bytes([4])
+        assert dsm.manager.stats["owner_syncs"] >= 3
+
+    def test_independent_pages_independent_owners(self, cluster):
+        network, dsm, sites = cluster
+        sites["a"].write(0, b"page0 by a")
+        sites["b"].write(PAGE, b"page1 by b")
+        assert dsm.manager.owner_of(0) == "a"
+        assert dsm.manager.owner_of(1) == "b"
+        assert sites["a"].read(PAGE, 10) == b"page1 by b"
+        assert sites["b"].read(0, 10) == b"page0 by a"
+
+    def test_manager_site_carries_no_user_state(self, cluster):
+        """The manager's nucleus never maps the segment itself."""
+        network, dsm, sites = cluster
+        sites["a"].write(0, b"data")
+        manager_nucleus = network.site("m")
+        names = {cache.name for cache in manager_nucleus.vm.caches()}
+        assert names == {"transit"}   # nothing user-visible, only IPC

@@ -1,0 +1,129 @@
+"""Unit tests for the simulated physical memory and frame allocator."""
+
+import pytest
+
+from repro.errors import BusError, InvalidOperation, OutOfFrames
+from repro.hardware.physmem import PhysicalMemory
+from repro.units import KB
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(size=64 * KB, page_size=8 * KB)
+
+
+class TestConstruction:
+    def test_frame_count(self, mem):
+        assert mem.total_frames == 8
+        assert mem.free_frames == 8
+        assert mem.allocated_frames == 0
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(InvalidOperation):
+            PhysicalMemory(size=64 * KB, page_size=3000)
+
+    def test_size_must_be_multiple_of_page_size(self):
+        with pytest.raises(InvalidOperation):
+            PhysicalMemory(size=12 * KB, page_size=8 * KB)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidOperation):
+            PhysicalMemory(size=0, page_size=8 * KB)
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_frames(self, mem):
+        frames = [mem.allocate_frame() for _ in range(8)]
+        assert len(set(frames)) == 8
+        assert mem.free_frames == 0
+
+    def test_exhaustion_raises(self, mem):
+        for _ in range(8):
+            mem.allocate_frame()
+        with pytest.raises(OutOfFrames):
+            mem.allocate_frame()
+
+    def test_free_recycles(self, mem):
+        frame = mem.allocate_frame()
+        mem.free_frame(frame)
+        assert mem.free_frames == 8
+        assert not mem.is_allocated(frame)
+
+    def test_double_free_rejected(self, mem):
+        frame = mem.allocate_frame()
+        mem.free_frame(frame)
+        with pytest.raises(InvalidOperation):
+            mem.free_frame(frame)
+
+    def test_free_unallocated_rejected(self, mem):
+        with pytest.raises(InvalidOperation):
+            mem.free_frame(3)
+
+    def test_allocate_zeroed(self, mem):
+        frame = mem.allocate_frame()
+        mem.write_frame(frame, b"\xff" * (8 * KB))
+        mem.free_frame(frame)
+        # Reallocate with zero=True until we get the dirty frame back.
+        for _ in range(8):
+            again = mem.allocate_frame(zero=True)
+            if again == frame:
+                assert mem.read_frame(again) == bytes(8 * KB)
+                break
+        else:
+            pytest.fail("dirty frame never reallocated")
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, mem):
+        mem.write(100, b"hello world")
+        assert mem.read(100, 11) == b"hello world"
+
+    def test_out_of_range_read(self, mem):
+        with pytest.raises(BusError):
+            mem.read(64 * KB - 4, 8)
+
+    def test_out_of_range_write(self, mem):
+        with pytest.raises(BusError):
+            mem.write(64 * KB, b"x")
+
+    def test_negative_address(self, mem):
+        with pytest.raises(BusError):
+            mem.read(-1, 1)
+
+
+class TestFrameHelpers:
+    def test_frame_address(self, mem):
+        assert mem.frame_address(0) == 0
+        assert mem.frame_address(3) == 3 * 8 * KB
+
+    def test_frame_address_out_of_range(self, mem):
+        with pytest.raises(BusError):
+            mem.frame_address(8)
+
+    def test_write_frame_pads_with_zeroes(self, mem):
+        frame = mem.allocate_frame()
+        mem.write_frame(frame, b"\xaa" * (8 * KB))
+        mem.write_frame(frame, b"abc")
+        data = mem.read_frame(frame)
+        assert data[:3] == b"abc"
+        assert data[3:] == bytes(8 * KB - 3)
+
+    def test_write_frame_too_large(self, mem):
+        frame = mem.allocate_frame()
+        with pytest.raises(InvalidOperation):
+            mem.write_frame(frame, b"x" * (8 * KB + 1))
+
+    def test_zero_frame(self, mem):
+        frame = mem.allocate_frame()
+        mem.write_frame(frame, b"\x55" * (8 * KB))
+        mem.zero_frame(frame)
+        assert mem.read_frame(frame) == bytes(8 * KB)
+
+    def test_copy_frame(self, mem):
+        src = mem.allocate_frame()
+        dst = mem.allocate_frame()
+        mem.write_frame(src, b"\x42" * (8 * KB))
+        mem.copy_frame(src, dst)
+        assert mem.read_frame(dst) == b"\x42" * (8 * KB)
+        # Source unchanged.
+        assert mem.read_frame(src) == b"\x42" * (8 * KB)

@@ -1,0 +1,131 @@
+"""Full-stack stress scenarios: disk-backed processes under memory
+pressure, with pipes, sbrk growth and segment caching all at once."""
+
+import pytest
+
+from repro.kernel.clock import CostEvent
+from repro.mix import Pipe, ProcessManager, ProgramStore
+from repro.mix.program import Program
+from repro.nucleus import Nucleus
+from repro.segments import DiskMapper, MemoryMapper, SimulatedDisk
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def small_site():
+    """A site with only 1 MB of RAM: paging is unavoidable."""
+    return Nucleus(memory_size=1 * MB)
+
+
+class TestPagingUnderPressure:
+    def test_processes_bigger_than_ram(self, small_site):
+        nucleus = small_site
+        mapper = MemoryMapper()
+        nucleus.register_mapper(mapper)
+        store = ProgramStore(mapper, PAGE)
+        store.install("hog", text=b"HOG!" * 512, data=b"\x00" * (768 * KB))
+        manager = ProcessManager(nucleus, store)
+        hog = manager.spawn("hog")
+        # Touch 96 data pages (768 KB) plus stack in 1 MB of RAM: the
+        # pageout daemon must run, and every byte must survive it.
+        for index in range(96):
+            hog.write(Program.DATA_BASE + index * PAGE,
+                      bytes([index % 251 + 1]) * 32)
+        assert nucleus.clock.count(CostEvent.PUSH_OUT) > 0
+        for index in range(96):
+            assert hog.read(Program.DATA_BASE + index * PAGE, 32) == \
+                bytes([index % 251 + 1]) * 32
+
+    def test_fork_of_large_process_under_pressure(self, small_site):
+        nucleus = small_site
+        mapper = MemoryMapper()
+        nucleus.register_mapper(mapper)
+        store = ProgramStore(mapper, PAGE)
+        store.install("big", text=b"BIG!" * 256, data=b"\x00" * (384 * KB))
+        manager = ProcessManager(nucleus, store)
+        parent = manager.spawn("big")
+        for index in range(48):
+            parent.write(Program.DATA_BASE + index * PAGE,
+                         bytes([index + 1]) * 16)
+        child = parent.fork()
+        # Dirty half the pages on each side, interleaved.
+        for index in range(0, 48, 2):
+            parent.write(Program.DATA_BASE + index * PAGE, b"P")
+            child.write(Program.DATA_BASE + (index + 1) * PAGE, b"C")
+        for index in range(0, 48, 2):
+            assert child.read(Program.DATA_BASE + index * PAGE, 1) == \
+                bytes([index + 1])
+            assert parent.read(
+                Program.DATA_BASE + (index + 1) * PAGE, 1) == \
+                bytes([index + 2])
+        child.exit(0)
+        # Parent's state intact after the child unwinds.
+        assert parent.read(Program.DATA_BASE, 1) == b"P"
+
+
+class TestDiskBackedEndToEnd:
+    def test_make_run_on_slow_disk(self):
+        nucleus = Nucleus(memory_size=2 * MB)
+        disk = SimulatedDisk(PAGE, clock=nucleus.clock)
+        mapper = DiskMapper(disk)
+        nucleus.register_mapper(mapper)
+        store = ProgramStore(mapper, PAGE)
+        store.install("tool", text=b"TOOL" * 4096, data=b"D" * (16 * KB))
+        manager = ProcessManager(nucleus, store)
+        times = []
+        for _ in range(3):
+            start = nucleus.clock.now()
+            process = manager.spawn("tool")
+            process.read(Program.TEXT_BASE, 4)
+            process.write(Program.DATA_BASE, b"run")
+            process.exit(0)
+            times.append(nucleus.clock.now() - start)
+        # First run pays the disk; later runs ride the warm segment
+        # cache.
+        assert times[1] < times[0] / 2
+        assert times[2] < times[0] / 2
+
+    def test_file_write_read_through_cache(self):
+        """Unified cache for a disk file: write through the mapped
+        cache, flush, re-read from disk."""
+        nucleus = Nucleus(memory_size=2 * MB)
+        disk = SimulatedDisk(PAGE, clock=nucleus.clock)
+        mapper = DiskMapper(disk)
+        nucleus.register_mapper(mapper)
+        cap = mapper.create_file(b"old contents" + bytes(PAGE))
+        cache = nucleus.segment_manager.bind(cap)
+        assert cache.read(0, 12) == b"old contents"
+        cache.write(0, b"new contents")
+        cache.flush(0, PAGE)
+        # The file itself changed.
+        assert mapper.read_segment(cap.key, 0, 12) == b"new contents"
+
+
+class TestMixedWorkload:
+    def test_pipeline_with_growth_and_pressure(self, small_site):
+        nucleus = small_site
+        mapper = MemoryMapper()
+        nucleus.register_mapper(mapper)
+        store = ProgramStore(mapper, PAGE)
+        store.install("stage", text=b"ST" * 512, data=b"\x00" * (64 * KB))
+        manager = ProcessManager(nucleus, store)
+
+        producer = manager.spawn("stage")
+        consumer = producer.fork()
+        pipe = Pipe(nucleus)
+        # Producer grows its heap, fills it, streams it to the consumer.
+        heap = producer.sbrk(128 * KB)
+        for index in range(16):
+            producer.write(heap + index * PAGE, bytes([index + 10]) * 64)
+        for index in range(16):
+            pipe.write(producer.read(heap + index * PAGE, 64))
+        received = pipe.read(16 * 64)
+        assert len(received) == 16 * 64
+        for index in range(16):
+            assert received[index * 64:(index + 1) * 64] == \
+                bytes([index + 10]) * 64
+        consumer.exit(0)
+        producer.exit(0)
+        assert manager.live_processes() == 0

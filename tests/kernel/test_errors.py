@@ -1,0 +1,58 @@
+"""The exception hierarchy: attributes, inheritance, messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in ("PageFault", "ProtectionViolation", "BusError",
+                     "SegmentationFault", "AccessViolation",
+                     "ResourceExhausted", "OutOfFrames",
+                     "InvalidOperation", "StaleObject", "MapperError",
+                     "CapabilityError", "IpcError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_hardware_fault_family(self):
+        for name in ("PageFault", "ProtectionViolation", "BusError"):
+            assert issubclass(getattr(errors, name), errors.HardwareFault)
+        assert not issubclass(errors.SegmentationFault,
+                              errors.HardwareFault)
+
+    def test_out_of_frames_is_resource_exhaustion(self):
+        assert issubclass(errors.OutOfFrames, errors.ResourceExhausted)
+
+
+class TestPayloads:
+    def test_page_fault_carries_address_and_kind(self):
+        fault = errors.PageFault(0x4000, write=True)
+        assert fault.address == 0x4000
+        assert fault.write is True
+        assert "0x4000" in str(fault) and "write" in str(fault)
+
+    def test_protection_violation_read_message(self):
+        fault = errors.ProtectionViolation(0x8000, write=False)
+        assert "read" in str(fault)
+
+    def test_segfault_names_context(self):
+        fault = errors.SegmentationFault(0xdead000, "shell")
+        assert fault.context_name == "shell"
+        assert "shell" in str(fault)
+
+    def test_custom_messages_respected(self):
+        fault = errors.PageFault(0, False, "segment limit violation at 0x0")
+        assert "segment limit" in str(fault)
+
+
+class TestCatchability:
+    def test_broad_catch_via_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.IpcError("dead port")
+
+    def test_hardware_catch_does_not_swallow_kernel_errors(self):
+        with pytest.raises(errors.SegmentationFault):
+            try:
+                raise errors.SegmentationFault(0)
+            except errors.HardwareFault:          # pragma: no cover
+                pytest.fail("SegmentationFault is not a hardware fault")

@@ -1,0 +1,159 @@
+"""Unix file I/O over the unified cache: the dual-caching problem
+cannot occur (section 3.2)."""
+
+import pytest
+
+from repro.errors import InvalidOperation
+from repro.gmi.types import Protection
+from repro.mix.files import FileTable
+from repro.nucleus import Nucleus
+from repro.segments import DiskMapper, MemoryMapper, SimulatedDisk
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def rig():
+    nucleus = Nucleus(memory_size=4 * MB)
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    files = FileTable(nucleus)
+    return nucleus, mapper, files
+
+
+class TestBasicCalls:
+    def test_open_read_sequential(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"the quick brown fox")
+        fd = files.open(cap)
+        assert files.read(fd, 9) == b"the quick"
+        assert files.read(fd, 100) == b" brown fox"      # EOF-clamped
+        assert files.read(fd, 10) == b""
+
+    def test_write_extends_and_persists(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"")
+        fd = files.open(cap)
+        assert files.write(fd, b"appended data") == 13
+        assert files.fstat_size(fd) == 13
+        files.fsync(fd)
+        assert mapper.read_segment(cap.key, 0, 13) == b"appended data"
+
+    def test_lseek_whences(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"0123456789")
+        fd = files.open(cap)
+        assert files.lseek(fd, 4) == 4
+        assert files.read(fd, 2) == b"45"
+        assert files.lseek(fd, -3, whence=1) == 3
+        assert files.lseek(fd, -2, whence=2) == 8
+        assert files.read(fd, 2) == b"89"
+        with pytest.raises(InvalidOperation):
+            files.lseek(fd, -1)
+
+    def test_pread_pwrite_do_not_move_offset(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"abcdefgh")
+        fd = files.open(cap)
+        assert files.pread(fd, 2, 4) == b"ef"
+        files.pwrite(fd, b"XY", 0)
+        assert files.read(fd, 4) == b"XYcd"
+
+    def test_bad_fd_rejected(self, rig):
+        nucleus, mapper, files = rig
+        with pytest.raises(InvalidOperation):
+            files.read(42, 1)
+        with pytest.raises(InvalidOperation):
+            files.close(42)
+
+
+class TestUnifiedCacheCoherence:
+    """The headline property: read/write and mmap share one cache."""
+
+    def test_write_visible_through_mapping(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"original content" + bytes(PAGE))
+        fd = files.open(cap)
+        actor = nucleus.create_actor()
+        region = files.mmap(fd, actor, length=PAGE, address=0x40000)
+        assert actor.read(0x40000, 8) == b"original"
+        files.pwrite(fd, b"REWRITTEN", 0)
+        # No fsync needed: it is the same cache, the same frame.
+        assert actor.read(0x40000, 9) == b"REWRITTEN"
+
+    def test_mapped_store_visible_through_read(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(bytes(PAGE))
+        fd = files.open(cap)
+        actor = nucleus.create_actor()
+        files.mmap(fd, actor, length=PAGE, address=0x40000)
+        actor.write(0x40000 + 100, b"stored via mmap")
+        assert files.pread(fd, 15, 100) == b"stored via mmap"
+
+    def test_one_frame_serves_both(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"x" + bytes(PAGE))
+        fd = files.open(cap)
+        actor = nucleus.create_actor()
+        files.mmap(fd, actor, length=PAGE, address=0x40000)
+        actor.read(0x40000, 1)
+        files.pread(fd, 1, 0)
+        cache = files._file(fd).cache
+        assert len(cache.pages) == 1           # no second buffer
+
+    def test_two_processes_share_file_coherently(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(bytes(PAGE))
+        fd = files.open(cap)
+        a, b = nucleus.create_actor(), nucleus.create_actor()
+        files.mmap(fd, a, length=PAGE, address=0x40000)
+        files.mmap(fd, b, length=PAGE, address=0x90000)
+        a.write(0x40000, b"from a")
+        assert b.read(0x90000, 6) == b"from a"
+
+
+class TestDiskBackedFiles:
+    def test_roundtrip_through_disk(self):
+        nucleus = Nucleus(memory_size=4 * MB)
+        disk = SimulatedDisk(PAGE, clock=nucleus.clock)
+        mapper = DiskMapper(disk)
+        nucleus.register_mapper(mapper)
+        files = FileTable(nucleus)
+        cap = mapper.create_file(b"on disk" + bytes(PAGE))
+        fd = files.open(cap)
+        assert files.read(fd, 7) == b"on disk"
+        files.pwrite(fd, b"updated", 0)
+        files.fsync(fd)
+        files.close(fd)
+        nucleus.segment_manager.drop_retained()
+        # Re-open cold: the bytes really reached the disk.
+        fd = files.open(cap)
+        assert files.read(fd, 7) == b"updated"
+
+
+class TestClose:
+    def test_close_unmaps_and_releases(self, rig):
+        nucleus, mapper, files = rig
+        from repro.errors import SegmentationFault
+        cap = mapper.register(b"z" + bytes(PAGE))
+        fd = files.open(cap)
+        actor = nucleus.create_actor()
+        region = files.mmap(fd, actor, length=PAGE, address=0x40000)
+        actor.read(0x40000, 1)
+        files.close(fd)
+        assert region.destroyed
+        with pytest.raises(SegmentationFault):
+            actor.read(0x40000, 1)
+        assert files.open_count == 0
+
+    def test_reopen_hits_warm_segment_cache(self, rig):
+        nucleus, mapper, files = rig
+        cap = mapper.register(b"warm file" + bytes(PAGE))
+        fd = files.open(cap)
+        files.read(fd, 9)
+        files.close(fd)
+        requests = mapper.read_requests
+        fd = files.open(cap)
+        assert files.read(fd, 9) == b"warm file"
+        assert mapper.read_requests == requests    # served from memory

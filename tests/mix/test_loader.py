@@ -1,0 +1,102 @@
+"""The a.out-style binary format and loader."""
+
+import pytest
+
+from repro.errors import InvalidOperation
+from repro.mix import ProcessManager, ProgramStore
+from repro.mix.loader import (
+    BinaryLoader, HEADER, MAGIC, pack_image, parse_header,
+)
+from repro.mix.program import Program
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def rig():
+    nucleus = Nucleus(memory_size=4 * MB)
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    store = ProgramStore(mapper, PAGE)
+    loader = BinaryLoader(nucleus, PAGE)
+    return nucleus, mapper, store, loader
+
+
+class TestFormat:
+    def test_pack_parse_roundtrip(self):
+        blob = pack_image(b"TEXT" * 10, b"DATA" * 5, bss_size=100,
+                          stack_size=32 * KB, entry=0x40)
+        header = parse_header(blob)
+        assert header.text_size == 40
+        assert header.data_size == 20
+        assert header.bss_size == 100
+        assert header.stack_size == 32 * KB
+        assert header.entry == 0x40
+        assert header.file_size == HEADER.size + 60
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(pack_image(b"T", b"D"))
+        blob[0] ^= 0xFF
+        with pytest.raises(InvalidOperation, match="magic"):
+            parse_header(bytes(blob))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(InvalidOperation, match="truncated"):
+            parse_header(b"\x00" * 4)
+
+    def test_bad_version_rejected(self):
+        import struct
+        blob = struct.pack(">7I", MAGIC, 99, 0, 0, 0, 0, 0)
+        with pytest.raises(InvalidOperation, match="version"):
+            parse_header(blob)
+
+
+class TestLoader:
+    def test_examine_reads_header_only(self, rig):
+        nucleus, mapper, store, loader = rig
+        image = pack_image(b"X" * (64 * KB), b"Y" * (32 * KB))
+        cap = mapper.register(image)
+        header = loader.examine(cap)
+        assert header.text_size == 64 * KB
+        # Only the header page was pulled.
+        assert mapper.read_requests == 1
+
+    def test_load_and_exec(self, rig):
+        nucleus, mapper, store, loader = rig
+        image = pack_image(b"CODE" * 1024, b"VARS" * 512, bss_size=8 * KB)
+        cap = mapper.register(image)
+        loader.load(store, "app", cap)
+        manager = ProcessManager(nucleus, store)
+        process = manager.spawn("app")
+        assert process.read(Program.TEXT_BASE, 4) == b"CODE"
+        assert process.read(Program.DATA_BASE, 4) == b"VARS"
+        # BSS reads as zeroes past the initialised data.
+        bss_start = Program.DATA_BASE + 4 * 512
+        assert process.read(bss_start, 8) == bytes(8)
+
+    def test_loaded_program_forks_correctly(self, rig):
+        nucleus, mapper, store, loader = rig
+        cap = mapper.register(pack_image(b"P" * 100, b"D" * 100))
+        loader.load(store, "forker", cap)
+        manager = ProcessManager(nucleus, store)
+        parent = manager.spawn("forker")
+        parent.write(Program.DATA_BASE, b"parent")
+        child = parent.fork()
+        child.write(Program.DATA_BASE, b"child!")
+        assert parent.read(Program.DATA_BASE, 6) == b"parent"
+        assert child.read(Program.DATA_BASE, 6) == b"child!"
+
+    def test_stack_size_honoured(self, rig):
+        nucleus, mapper, store, loader = rig
+        cap = mapper.register(pack_image(b"T", b"D", stack_size=128 * KB))
+        program = loader.load(store, "bigstack", cap)
+        assert program.stack_size == 128 * KB
+
+    def test_non_executable_rejected(self, rig):
+        nucleus, mapper, store, loader = rig
+        cap = mapper.register(b"#!/bin/sh\necho not a binary\n")
+        with pytest.raises(InvalidOperation):
+            loader.load(store, "script", cap)

@@ -1,0 +1,97 @@
+"""The paper's fig-3.c motivation at the Unix level: "in Unix this
+occurs for instance when creating a pipeline, or with daemons" — one
+parent forking several live children, working objects underneath."""
+
+import pytest
+
+from repro.mix import Pipe, ProcessManager, ProgramStore
+from repro.mix.program import Program
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def rig():
+    nucleus = Nucleus(memory_size=8 * MB)
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    store = ProgramStore(mapper, PAGE)
+    store.install("sh", text=b"SH" * 256, data=b"ENV " * 4096)
+    manager = ProcessManager(nucleus, store)
+    return nucleus, manager
+
+
+class TestPipelineFork:
+    def test_three_stage_pipeline_shares_snapshot(self, rig):
+        """sh | a | b | c: every stage sees the shell's pre-pipeline
+        state; a working object carries the originals (fig 3.c/3.d)."""
+        nucleus, manager = rig
+        shell = manager.spawn("sh")
+        shell.write(Program.DATA_BASE, b"PIPELINE=| a | b | c")
+        stages = [shell.fork() for _ in range(3)]
+        # The data-segment history tree grew working objects (the
+        # stack segment grows its own pair as well).
+        data_workers = [cache for cache in nucleus.vm.caches()
+                        if cache.is_history and ".init" in cache.name]
+        assert len(data_workers) == 2          # three copies -> two w's
+        # The shell mutates its state while the stages run.
+        shell.write(Program.DATA_BASE, b"PIPELINE=done        ")
+        for stage in stages:
+            assert stage.read(Program.DATA_BASE, 20) == \
+                b"PIPELINE=| a | b | c"
+
+    def test_stages_communicate_and_exit(self, rig):
+        nucleus, manager = rig
+        shell = manager.spawn("sh")
+        stages = [shell.fork() for _ in range(3)]
+        pipes = [Pipe(nucleus) for _ in range(2)]
+        # stage0 -> pipe0 -> stage1 -> pipe1 -> stage2
+        pipes[0].write(b"raw input")
+        data = pipes[0].read(9)
+        pipes[1].write(data.upper())
+        assert pipes[1].read(9) == b"RAW INPUT"
+        for stage in stages:
+            stage.exit(0)
+        while manager.wait(shell):
+            pass
+        # Working objects unwound with the stages.
+        assert all(cache.destroyed or not cache.is_history
+                   for cache in nucleus.vm.caches())
+
+    def test_daemon_pattern_long_lived_children(self, rig):
+        """Daemons: children outlive repeated parent mutations."""
+        nucleus, manager = rig
+        init = manager.spawn("sh")
+        init.write(Program.DATA_BASE, b"boot-config-v0")
+        daemons = []
+        for generation in range(4):
+            daemon = init.fork()
+            daemons.append((generation, daemon))
+            init.write(Program.DATA_BASE,
+                       f"boot-config-v{generation + 1}".encode())
+        # Each daemon froze the config as of its own fork.
+        for generation, daemon in daemons:
+            expected = f"boot-config-v{generation}".encode()
+            assert daemon.read(Program.DATA_BASE, len(expected)) == \
+                expected
+        assert init.read(Program.DATA_BASE, 14) == b"boot-config-v4"
+
+    def test_daemon_exit_order_irrelevant(self, rig):
+        nucleus, manager = rig
+        init = manager.spawn("sh")
+        init.write(Program.DATA_BASE, b"shared")
+        daemons = [init.fork() for _ in range(4)]
+        # Exit in shuffled order, including the parent in the middle.
+        daemons[2].exit(0)
+        daemons[0].exit(0)
+        survivor_a, survivor_b = daemons[1], daemons[3]
+        init.exit(0)
+        assert survivor_a.read(Program.DATA_BASE, 6) == b"shared"
+        assert survivor_b.read(Program.DATA_BASE, 6) == b"shared"
+        survivor_a.exit(0)
+        assert survivor_b.read(Program.DATA_BASE, 6) == b"shared"
+        survivor_b.exit(0)
+        assert manager.live_processes() == 0

@@ -1,0 +1,122 @@
+"""Multi-site: network routing and remote mappers."""
+
+import pytest
+
+from repro.errors import IpcError
+from repro.gmi.types import Protection
+from repro.mix import ProcessManager, ProgramStore
+from repro.mix.program import Program
+from repro.net import Network, RemoteMapper
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def cluster():
+    network = Network(latency_ms=2.0)
+    server = Nucleus(memory_size=4 * MB)
+    client = Nucleus(memory_size=4 * MB)
+    network.register("server", server)
+    network.register("client", client)
+    file_mapper = MemoryMapper(port="files")
+    server.register_mapper(file_mapper)
+    proxy = RemoteMapper(network, "client", "server", "files")
+    client.register_mapper(proxy)
+    return network, server, client, file_mapper, proxy
+
+
+class TestRouting:
+    def test_duplicate_site_rejected(self, cluster):
+        network, server, client, *_ = cluster
+        with pytest.raises(IpcError):
+            network.register("server", client)
+
+    def test_unknown_site_rejected(self, cluster):
+        network, *_ = cluster
+        with pytest.raises(IpcError):
+            network.send("client", "mars", "files", header={"op": "size"})
+
+    def test_rpc_roundtrip_pays_latency_both_ends(self, cluster):
+        network, server, client, file_mapper, _ = cluster
+        cap = file_mapper.register(b"remote bytes")
+        client_before = client.clock.now()
+        server_before = server.clock.now()
+        reply = network.send("client", "server", "files", header={
+            "op": "read", "capability": cap, "offset": 0, "size": 6,
+        })
+        assert reply.inline == b"remote"
+        assert client.clock.now() - client_before >= 2 * 2.0   # both ways
+        assert server.clock.now() - server_before >= 2 * 2.0
+        assert network.messages == 2                           # req + reply
+
+
+class TestRemoteMapping:
+    def test_remote_segment_mapped_locally(self, cluster):
+        network, server, client, file_mapper, _ = cluster
+        cap = file_mapper.register(b"served from afar" + bytes(PAGE))
+        actor = client.create_actor()
+        client.rgn_map(actor, cap, PAGE, address=0x40000)
+        # The page fault crossed the network.
+        assert actor.read(0x40000, 16) == b"served from afar"
+        assert network.messages >= 2
+
+    def test_remote_write_back(self, cluster):
+        network, server, client, file_mapper, _ = cluster
+        cap = file_mapper.register(bytes(PAGE))
+        cache = client.segment_manager.bind(cap)
+        cache.write(0, b"written remotely")
+        cache.flush(0, PAGE)
+        # The home site's storage changed.
+        assert file_mapper.read_segment(cap.key, 0, 16) == \
+            b"written remotely"
+
+    def test_two_clients_of_one_server(self):
+        network = Network()
+        server = Nucleus(memory_size=4 * MB)
+        network.register("server", server)
+        mapper = MemoryMapper(port="files")
+        server.register_mapper(mapper)
+        cap = mapper.register(b"shared source of truth" + bytes(PAGE))
+        clients = []
+        for name in ("c1", "c2"):
+            client = Nucleus(memory_size=4 * MB)
+            network.register(name, client)
+            client.register_mapper(
+                RemoteMapper(network, name, "server", "files"))
+            actor = client.create_actor()
+            client.rgn_map(actor, cap, PAGE, address=0x40000,
+                           protection=Protection.READ)
+            clients.append(actor)
+        for actor in clients:
+            assert actor.read(0x40000, 6) == b"shared"
+
+    def test_remote_exec(self, cluster):
+        """A program whose image lives on another site."""
+        network, server, client, file_mapper, proxy = cluster
+        text_cap = file_mapper.register(b"RPROG" * 512)
+        data_cap = file_mapper.register(b"RDATA" * 512)
+        store = ProgramStore(proxy, client.vm.page_size)
+        store.install_from_capabilities(
+            "remote-prog", text_cap, 5 * 512, data_cap, 5 * 512)
+        manager = ProcessManager(client, store)
+        process = manager.spawn("remote-prog")
+        assert process.read(Program.TEXT_BASE, 5) == b"RPROG"
+        assert process.read(Program.DATA_BASE, 5) == b"RDATA"
+        # Paging traffic crossed the wire.
+        assert network.bytes_moved > 0
+        process.exit(0)
+
+    def test_warm_cache_avoids_network(self, cluster):
+        """Segment caching (5.1.3) shields the network too."""
+        network, server, client, file_mapper, _ = cluster
+        cap = file_mapper.register(b"cache me" + bytes(PAGE))
+        cache = client.segment_manager.bind(cap)
+        cache.read(0, 8)
+        traffic = network.messages
+        client.segment_manager.release(cap)
+        again = client.segment_manager.bind(cap)
+        assert again.read(0, 8) == b"cache me"
+        assert network.messages == traffic          # no new wire traffic

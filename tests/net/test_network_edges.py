@@ -1,0 +1,117 @@
+"""Network edge cases: accounting, proxy validation, mixed topologies."""
+
+import pytest
+
+from repro.errors import CapabilityError, IpcError
+from repro.ipc.message import Message
+from repro.net import Network, RemoteMapper
+from repro.nucleus import Nucleus
+from repro.segments import Capability, MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def pair():
+    network = Network(latency_ms=1.0, per_kb_ms=1.0)
+    left = Nucleus(memory_size=2 * MB)
+    right = Nucleus(memory_size=2 * MB)
+    network.register("left", left)
+    network.register("right", right)
+    return network, left, right
+
+
+class TestAccounting:
+    def test_bytes_moved_counts_payload(self, pair):
+        network, left, right = pair
+        right.ipc.create_port("sink", handler=lambda m: Message())
+        network.send("left", "right", "sink", data=b"x" * 2048)
+        assert network.bytes_moved == 2048
+
+    def test_per_kb_cost_charged(self, pair):
+        network, left, right = pair
+        right.ipc.create_port("sink", handler=lambda m: Message())
+        before = left.clock.now()
+        network.send("left", "right", "sink", data=b"x" * 4096)
+        # latency (1.0) + 4 KB x 1.0 per KB, twice (request + reply).
+        assert left.clock.now() - before >= 1.0 + 4.0
+
+    def test_self_send_charges_once(self, pair):
+        """A message to one's own site still pays (loopback model) but
+        does not double-charge the single clock."""
+        network, left, right = pair
+        left.ipc.create_port("local", handler=lambda m: Message())
+        before = left.clock.now()
+        network.send("left", "left", "local", data=b"1234")
+        elapsed = left.clock.now() - before
+        assert elapsed < 2 * (2 * (1.0 + 4 / 1024))
+
+    def test_queued_cross_site_send(self, pair):
+        """Non-server ports queue across sites too."""
+        network, left, right = pair
+        right.ipc.create_port("mailbox")
+        assert network.send("left", "right", "mailbox",
+                            data=b"posted") is None
+        message = right.ipc.receive("mailbox")
+        assert message.inline == b"posted"
+
+
+class TestRemoteMapperValidation:
+    def test_wrong_port_capability_rejected_remotely(self, pair):
+        network, left, right = pair
+        real = MemoryMapper(port="files")
+        right.register_mapper(real)
+        proxy = RemoteMapper(network, "left", "right", "files")
+        left.register_mapper(proxy)
+        bogus = Capability("other-mapper")
+        # The remote side validates; its error propagates through the
+        # synchronous RPC.
+        with pytest.raises(CapabilityError):
+            network.send("left", "right", "files", header={
+                "op": "read", "capability": bogus,
+                "offset": 0, "size": 1,
+            })
+
+    def test_segment_size_rpc(self, pair):
+        network, left, right = pair
+        real = MemoryMapper(port="files")
+        right.register_mapper(real)
+        cap = real.register(b"12345")
+        proxy = RemoteMapper(network, "left", "right", "files")
+        assert proxy.segment_size(cap.key) == 5
+
+    def test_proxy_counts_requests(self, pair):
+        network, left, right = pair
+        real = MemoryMapper(port="files")
+        right.register_mapper(real)
+        cap = real.register(b"abc")
+        proxy = RemoteMapper(network, "left", "right", "files")
+        proxy.read_segment(cap.key, 0, 3)
+        proxy.write_segment(cap.key, 0, b"xyz")
+        assert proxy.read_requests == 1
+        assert proxy.write_requests == 1
+        assert real.read_requests == 1
+        assert real.write_requests == 1
+
+
+class TestTopologies:
+    def test_chain_of_proxies(self):
+        """left -> middle -> right: a proxy of a proxy still works."""
+        network = Network(latency_ms=1.0)
+        nuclei = {}
+        for name in ("left", "middle", "right"):
+            nuclei[name] = Nucleus(memory_size=2 * MB)
+            network.register(name, nuclei[name])
+        real = MemoryMapper(port="files")
+        nuclei["right"].register_mapper(real)
+        cap = real.register(b"end of the chain" + bytes(PAGE))
+        middle_proxy = RemoteMapper(network, "middle", "right", "files")
+        nuclei["middle"].register_mapper(middle_proxy)
+        left_proxy = RemoteMapper(network, "left", "middle", "files")
+        nuclei["left"].register_mapper(left_proxy)
+        actor = nuclei["left"].create_actor()
+        nuclei["left"].rgn_map(actor, cap, PAGE, address=0x40000)
+        assert actor.read(0x40000, 16) == b"end of the chain"
+        # Both hops were traversed.
+        assert network.messages >= 4

@@ -1,0 +1,65 @@
+"""Actor lifecycle semantics."""
+
+import pytest
+
+from repro.errors import IpcError, StaleObject
+from repro.nucleus import Nucleus
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def nucleus():
+    return Nucleus(memory_size=2 * MB)
+
+
+class TestActorLifecycle:
+    def test_actor_has_context_and_port(self, nucleus):
+        actor = nucleus.create_actor("worker")
+        assert actor.context in nucleus.vm.contexts()
+        assert nucleus.ipc.lookup_port(actor.port.name) is actor.port
+
+    def test_names_unique_by_default(self, nucleus):
+        names = {nucleus.create_actor().name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_destroy_tears_down_everything(self, nucleus):
+        actor = nucleus.create_actor("victim")
+        nucleus.rgn_allocate(actor, PAGE, address=0x40000)
+        actor.write(0x40000, b"x")
+        port_name = actor.port.name
+        nucleus.destroy_actor(actor)
+        assert not actor.alive
+        assert actor.context.destroyed
+        with pytest.raises(IpcError):
+            nucleus.ipc.lookup_port(port_name)
+
+    def test_access_after_destroy_rejected(self, nucleus):
+        actor = nucleus.create_actor()
+        nucleus.rgn_allocate(actor, PAGE, address=0x40000)
+        nucleus.destroy_actor(actor)
+        with pytest.raises(StaleObject):
+            actor.read(0x40000, 1)
+        with pytest.raises(StaleObject):
+            actor.write(0x40000, b"x")
+
+    def test_double_destroy_rejected(self, nucleus):
+        actor = nucleus.create_actor()
+        nucleus.destroy_actor(actor)
+        with pytest.raises(StaleObject):
+            actor.destroy()
+
+    def test_actor_messaging_via_its_port(self, nucleus):
+        actor = nucleus.create_actor("server")
+        nucleus.ipc.send(actor.port.name, data=b"for the actor")
+        message = nucleus.ipc.receive(actor.port.name)
+        assert message.inline == b"for the actor"
+
+    def test_many_actors_isolated_spaces(self, nucleus):
+        actors = [nucleus.create_actor() for _ in range(4)]
+        for index, actor in enumerate(actors):
+            nucleus.rgn_allocate(actor, PAGE, address=0x40000)
+            actor.write(0x40000, bytes([index + 1]) * 4)
+        for index, actor in enumerate(actors):
+            assert actor.read(0x40000, 4) == bytes([index + 1]) * 4

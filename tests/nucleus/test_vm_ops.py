@@ -1,0 +1,152 @@
+"""The Nucleus rgn* operations (section 5.1.4)."""
+
+import pytest
+
+from repro.errors import InvalidOperation, SegmentationFault
+from repro.gmi.types import Protection
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def nucleus():
+    return Nucleus(memory_size=4 * MB)
+
+
+@pytest.fixture
+def mapper(nucleus):
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    return mapper
+
+
+class TestRgnAllocate:
+    def test_zero_filled_demand_region(self, nucleus):
+        actor = nucleus.create_actor()
+        region = nucleus.rgn_allocate(actor, 32 * KB, address=0x40000)
+        assert actor.read(0x40000, 8) == bytes(8)
+        actor.write(0x40000 + PAGE, b"anon")
+        assert actor.read(0x40000 + PAGE, 4) == b"anon"
+        assert region.size == 32 * KB
+
+    def test_address_chosen_when_omitted(self, nucleus):
+        actor = nucleus.create_actor()
+        r1 = nucleus.rgn_allocate(actor, 16 * KB)
+        r2 = nucleus.rgn_allocate(actor, 16 * KB)
+        assert r1.address != r2.address
+        actor.write(r2.address, b"x")
+
+    def test_size_rounded_to_pages(self, nucleus):
+        actor = nucleus.create_actor()
+        region = nucleus.rgn_allocate(actor, 100)
+        assert region.size == PAGE
+
+
+class TestRgnMap:
+    def test_maps_segment(self, nucleus, mapper):
+        cap = mapper.register(b"segment bytes" + bytes(PAGE))
+        actor = nucleus.create_actor()
+        nucleus.rgn_map(actor, cap, PAGE, address=0x40000)
+        assert actor.read(0x40000, 7) == b"segment"
+
+    def test_two_actors_share_one_cache(self, nucleus, mapper):
+        cap = mapper.register(bytes(PAGE))
+        a, b = nucleus.create_actor(), nucleus.create_actor()
+        nucleus.rgn_map(a, cap, PAGE, address=0x40000)
+        nucleus.rgn_map(b, cap, PAGE, address=0x90000)
+        a.write(0x40000, b"shared write")
+        assert b.read(0x90000, 12) == b"shared write"
+        assert mapper.read_requests <= 1
+
+    def test_windowed_map(self, nucleus, mapper):
+        cap = mapper.register(bytes(2 * PAGE) + b"deep content")
+        actor = nucleus.create_actor()
+        nucleus.rgn_map(actor, cap, PAGE, address=0x40000, offset=2 * PAGE)
+        assert actor.read(0x40000, 4) == b"deep"
+
+
+class TestRgnInit:
+    def test_copy_semantics(self, nucleus, mapper):
+        cap = mapper.register(b"initial image" + bytes(PAGE))
+        actor = nucleus.create_actor()
+        nucleus.rgn_init(actor, cap, PAGE, address=0x40000)
+        assert actor.read(0x40000, 7) == b"initial"
+        actor.write(0x40000, b"private")
+        # The backing segment is untouched.
+        assert mapper.read_segment(cap.key, 0, 7) == b"initial"
+
+    def test_init_is_deferred(self, nucleus, mapper):
+        from repro.kernel.clock import CostEvent
+        cap = mapper.register(bytes(64 * PAGE))
+        actor = nucleus.create_actor()
+        before = nucleus.clock.count(CostEvent.BCOPY_PAGE)
+        nucleus.rgn_init(actor, cap, 64 * PAGE, address=0x40000)
+        # No data moved at init time (and none even pulled).
+        assert nucleus.clock.count(CostEvent.BCOPY_PAGE) == before
+
+
+class TestFromActorOps:
+    def test_rgn_map_from_actor_shares(self, nucleus, mapper):
+        cap = mapper.register(b"text" + bytes(PAGE))
+        parent = nucleus.create_actor()
+        nucleus.rgn_map(parent, cap, PAGE, address=0x10000,
+                        protection=Protection.RX)
+        child = nucleus.create_actor()
+        region = nucleus.rgn_map_from_actor(child, parent, 0x10000,
+                                            address=0x10000)
+        assert region.protection == Protection.RX       # inherited
+        assert child.read(0x10000, 4) == b"text"
+
+    def test_rgn_init_from_actor_copies(self, nucleus):
+        parent = nucleus.create_actor()
+        nucleus.rgn_allocate(parent, 2 * PAGE, address=0x40000)
+        parent.write(0x40000, b"parent state")
+        child = nucleus.create_actor()
+        nucleus.rgn_init_from_actor(child, parent, 0x40000, address=0x40000)
+        assert child.read(0x40000, 12) == b"parent state"
+        child.write(0x40000, b"child  state")
+        assert parent.read(0x40000, 12) == b"parent state"
+
+    def test_source_address_without_region_rejected(self, nucleus):
+        a, b = nucleus.create_actor(), nucleus.create_actor()
+        with pytest.raises(InvalidOperation):
+            nucleus.rgn_map_from_actor(b, a, 0xDEAD000)
+
+    def test_sharer_keeps_cache_alive_after_owner_exit(self, nucleus, mapper):
+        """The shared cache must survive the original mapper's actor."""
+        cap = mapper.register(b"still here" + bytes(PAGE))
+        parent = nucleus.create_actor()
+        nucleus.rgn_map(parent, cap, PAGE, address=0x10000)
+        child = nucleus.create_actor()
+        nucleus.rgn_map_from_actor(child, parent, 0x10000, address=0x10000)
+        nucleus.destroy_actor(parent)
+        assert child.read(0x10000, 10) == b"still here"
+
+
+class TestRgnFree:
+    def test_free_unmaps_and_releases(self, nucleus):
+        actor = nucleus.create_actor()
+        region = nucleus.rgn_allocate(actor, PAGE, address=0x40000)
+        actor.write(0x40000, b"x")
+        nucleus.rgn_free(actor, region)
+        with pytest.raises(SegmentationFault):
+            actor.read(0x40000, 1)
+        assert actor.mappings == []
+
+    def test_free_foreign_region_rejected(self, nucleus):
+        a, b = nucleus.create_actor(), nucleus.create_actor()
+        region = nucleus.rgn_allocate(a, PAGE, address=0x40000)
+        with pytest.raises(InvalidOperation):
+            nucleus.rgn_free(b, region)
+
+    def test_actor_destroy_releases_temporaries(self, nucleus):
+        actor = nucleus.create_actor()
+        nucleus.rgn_allocate(actor, 2 * PAGE, address=0x40000)
+        actor.write(0x40000, b"x")
+        nucleus.destroy_actor(actor)
+        # The temporary cache is gone from the VM.
+        assert all(not c.name.endswith(".anon")
+                   for c in nucleus.vm.caches())

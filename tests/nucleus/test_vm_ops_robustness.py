@@ -1,0 +1,96 @@
+"""Robustness of the Nucleus rgn* operations against misuse."""
+
+import pytest
+
+from repro.errors import InvalidOperation, StaleObject
+from repro.gmi.types import Protection
+from repro.nucleus import Nucleus
+from repro.segments import Capability, MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+
+
+@pytest.fixture
+def nucleus():
+    return Nucleus(memory_size=2 * MB)
+
+
+@pytest.fixture
+def actor(nucleus):
+    return nucleus.create_actor()
+
+
+class TestBadArguments:
+    def test_zero_size_allocate_rounds_up(self, nucleus, actor):
+        region = nucleus.rgn_allocate(actor, 1)
+        assert region.size == PAGE
+
+    def test_overlapping_explicit_addresses_rejected(self, nucleus, actor):
+        nucleus.rgn_allocate(actor, 2 * PAGE, address=0x40000)
+        with pytest.raises(InvalidOperation):
+            nucleus.rgn_allocate(actor, PAGE, address=0x40000 + PAGE)
+        # The failed attempt leaked nothing: mapping count unchanged.
+        assert len(actor.mappings) == 1
+
+    def test_unknown_capability_port_fails_at_fault_time(self, nucleus,
+                                                         actor):
+        from repro.errors import IpcError
+        ghost = Capability("no-such-mapper")
+        region = nucleus.rgn_map(actor, ghost, PAGE, address=0x40000)
+        with pytest.raises(IpcError):
+            actor.read(0x40000, 1)
+
+    def test_ops_on_dead_actor_rejected(self, nucleus, actor):
+        nucleus.destroy_actor(actor)
+        with pytest.raises(StaleObject):
+            nucleus.rgn_allocate(actor, PAGE)
+
+    def test_double_rgn_free_rejected(self, nucleus, actor):
+        region = nucleus.rgn_allocate(actor, PAGE, address=0x40000)
+        nucleus.rgn_free(actor, region)
+        with pytest.raises(InvalidOperation):
+            nucleus.rgn_free(actor, region)
+
+
+class TestResourceBalance:
+    def test_allocate_free_cycle_leaks_nothing(self, nucleus, actor):
+        frames_before = nucleus.vm.memory.allocated_frames
+        caches_before = len(nucleus.vm.caches())
+        for _ in range(10):
+            region = nucleus.rgn_allocate(actor, 4 * PAGE,
+                                          address=0x40000)
+            actor.write(0x40000, b"touch")
+            nucleus.rgn_free(actor, region)
+        assert nucleus.vm.memory.allocated_frames == frames_before
+        assert len(nucleus.vm.caches()) == caches_before
+
+    def test_fork_exit_cycle_leaks_nothing(self, nucleus):
+        mapper = MemoryMapper()
+        nucleus.register_mapper(mapper)
+        from repro.mix import ProcessManager, ProgramStore
+        store = ProgramStore(mapper, PAGE)
+        store.install("p", text=b"T" * 256, data=b"D" * 256)
+        manager = ProcessManager(nucleus, store)
+        parent = manager.spawn("p")
+        parent.write(0x1000000, b"state")
+        caches_before = len(nucleus.vm.caches())
+        for _ in range(8):
+            child = parent.fork()
+            child.write(0x1000000, b"child")
+            child.exit(0)
+            manager.wait(parent)
+        # History machinery unwound completely each time.
+        assert len(nucleus.vm.caches()) <= caches_before + 1
+        assert parent.read(0x1000000, 5) == b"state"
+
+    def test_mapped_segment_release_returns_to_retention(self, nucleus,
+                                                         actor):
+        mapper = MemoryMapper()
+        nucleus.register_mapper(mapper)
+        cap = mapper.register(b"retained")
+        region = nucleus.rgn_map(actor, cap, PAGE, address=0x40000)
+        retained_before = nucleus.segment_manager.retained_count
+        nucleus.rgn_free(actor, region)
+        assert nucleus.segment_manager.retained_count == \
+            retained_before + 1

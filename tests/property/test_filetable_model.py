@@ -1,0 +1,109 @@
+"""Model-based test of the FileTable: descriptor semantics vs a plain
+(bytes, position) model, including coherence with a live mmap."""
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine, initialize, invariant, rule,
+)
+
+from repro.mix.files import FileTable
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+FILE_SPAN = 2 * PAGE          # mapped window
+
+sizes = st.integers(0, 300)
+offsets = st.integers(0, FILE_SPAN - 64)
+payloads = st.binary(min_size=1, max_size=64)
+
+
+class FileMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.nucleus = Nucleus(memory_size=4 * MB)
+        self.mapper = MemoryMapper()
+        self.nucleus.register_mapper(self.mapper)
+        self.files = FileTable(self.nucleus)
+        capability = self.mapper.register(b"")
+        self.fd = self.files.open(capability)
+        self.actor = self.nucleus.create_actor()
+        self.region = self.files.mmap(self.fd, self.actor,
+                                      length=FILE_SPAN, address=0x400000)
+        # Model: growable content buffer + a separate descriptor-
+        # visible size (mapped stores change content but, like real
+        # mmap past EOF, never move the fstat size).  Writes may land
+        # past the mapped window — the file grows, the window doesn't.
+        self.content = bytearray(FILE_SPAN)
+        self.size = 0
+        self.position = 0
+
+    def _ensure(self, end):
+        if end > len(self.content):
+            self.content.extend(bytes(end - len(self.content)))
+
+    @rule(payload=payloads)
+    def write(self, payload):
+        written = self.files.write(self.fd, payload)
+        assert written == len(payload)
+        end = self.position + len(payload)
+        self._ensure(end)
+        self.content[self.position:end] = payload
+        self.size = max(self.size, end)
+        self.position = end
+
+    @rule(count=sizes)
+    def read(self, count):
+        clamped = max(0, min(count, self.size - self.position))
+        self._ensure(self.position + clamped)
+        expected = bytes(self.content[self.position:self.position + clamped])
+        actual = self.files.read(self.fd, count)
+        assert actual == expected
+        self.position += clamped
+
+    @rule(offset=offsets, payload=payloads)
+    def pwrite(self, offset, payload):
+        self.files.pwrite(self.fd, payload, offset)
+        self._ensure(offset + len(payload))
+        self.content[offset:offset + len(payload)] = payload
+        self.size = max(self.size, offset + len(payload))
+
+    @rule(offset=offsets, count=sizes)
+    def pread(self, offset, count):
+        clamped = max(0, min(count, self.size - offset))
+        self._ensure(offset + clamped)
+        expected = bytes(self.content[offset:offset + clamped])
+        assert self.files.pread(self.fd, count, offset) == expected
+
+    @rule(offset=st.integers(0, FILE_SPAN), whence=st.sampled_from([0, 1, 2]))
+    def lseek(self, offset, whence):
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = self.position + offset
+        else:
+            target = self.size + offset
+        assert self.files.lseek(self.fd, offset, whence) == target
+        self.position = target
+
+    @rule(offset=offsets, payload=payloads)
+    def mapped_store(self, offset, payload):
+        self.actor.write(0x400000 + offset, payload)
+        self.content[offset:offset + len(payload)] = payload
+
+    @rule(offset=offsets, count=st.integers(1, 64))
+    def mapped_load_matches(self, offset, count):
+        expected = bytes(self.content[offset:offset + count])
+        assert self.actor.read(0x400000 + offset, count) == expected
+
+    @invariant()
+    def descriptor_size_matches_model(self):
+        if hasattr(self, "files"):
+            assert self.files.fstat_size(self.fd) == self.size
+
+
+TestFileModel = FileMachine.TestCase
+TestFileModel.settings = settings(max_examples=50, stateful_step_count=40,
+                                  deadline=None)

@@ -1,0 +1,102 @@
+"""Model-based test of the segment manager's reference counting and
+retention (bind/release/temporary lifecycle, section 5.1.2/5.1.3)."""
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine, initialize, invariant, rule,
+)
+
+from repro.errors import InvalidOperation
+from repro.nucleus import Nucleus
+from repro.segments import MemoryMapper
+from repro.units import KB, MB
+
+PAGE = 8 * KB
+SEGMENTS = 5
+MAX_CACHED = 3
+
+segment_ids = st.integers(0, SEGMENTS - 1)
+
+
+class SegmentManagerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.nucleus = Nucleus(memory_size=4 * MB,
+                               max_cached_segments=MAX_CACHED)
+        self.mapper = MemoryMapper()
+        self.nucleus.register_mapper(self.mapper)
+        self.caps = [self.mapper.register(bytes([i + 1]) * 64)
+                     for i in range(SEGMENTS)]
+        self.refcounts = {i: 0 for i in range(SEGMENTS)}
+        self.bound_caches = {}
+
+    @property
+    def sm(self):
+        return self.nucleus.segment_manager
+
+    @rule(segment=segment_ids)
+    def bind(self, segment):
+        cache = self.sm.bind(self.caps[segment])
+        if self.refcounts[segment] > 0:
+            # Same segment in use: must be the same cache.
+            assert cache is self.bound_caches[segment]
+        self.bound_caches[segment] = cache
+        self.refcounts[segment] += 1
+
+    @rule(segment=segment_ids)
+    def release(self, segment):
+        if self.refcounts[segment] == 0:
+            with pytest.raises(InvalidOperation):
+                self.sm.release(self.caps[segment])
+            return
+        self.sm.release(self.caps[segment])
+        self.refcounts[segment] -= 1
+
+    @rule(segment=segment_ids)
+    def read_through(self, segment):
+        if self.refcounts[segment] == 0:
+            return
+        cache = self.bound_caches[segment]
+        assert cache.read(0, 4) == bytes([segment + 1]) * 4
+
+    @rule()
+    def drop_retained(self):
+        self.sm.drop_retained()
+
+    @rule(segment=segment_ids)
+    def rebind_after_idle_sees_same_bytes(self, segment):
+        cache = self.sm.bind(self.caps[segment])
+        try:
+            assert cache.read(0, 4) == bytes([segment + 1]) * 4
+        finally:
+            self.sm.release(self.caps[segment])
+            if self.refcounts[segment] > 0:
+                self.bound_caches[segment] = cache
+
+    @invariant()
+    def bound_caches_alive(self):
+        if not hasattr(self, "nucleus"):
+            return
+        for segment, count in self.refcounts.items():
+            if count > 0:
+                assert not self.bound_caches[segment].destroyed
+
+    @invariant()
+    def retention_bounded(self):
+        if hasattr(self, "nucleus"):
+            assert self.sm.retained_count <= MAX_CACHED
+
+    @invariant()
+    def stats_consistent(self):
+        if hasattr(self, "nucleus"):
+            # Binds that found the segment already in use are neither
+            # warm hits nor cold misses.
+            stats = self.sm.stats
+            assert stats["binds"] >= \
+                stats["warm_hits"] + stats["cold_misses"]
+
+
+TestSegmentManagerModel = SegmentManagerMachine.TestCase
+TestSegmentManagerModel.settings = settings(
+    max_examples=50, stateful_step_count=40, deadline=None)

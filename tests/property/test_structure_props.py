@@ -1,0 +1,135 @@
+"""Property tests for the PVM's core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pvm.fragments import FragmentList
+from repro.units import (
+    page_ceil, page_floor, page_index, page_offset, page_range,
+    pages_spanned,
+)
+
+PAGE = 8 * 1024
+
+
+class ShiftPayload:
+    """Payload recording its absolute base, so splits are checkable."""
+
+    def __init__(self, base):
+        self.base = base
+
+    def shifted(self, delta):
+        return ShiftPayload(self.base + delta)
+
+
+# A batch of candidate fragments: (offset, size) pairs.
+fragment_batches = st.lists(
+    st.tuples(st.integers(0, 1000), st.integers(1, 80)),
+    min_size=0, max_size=25,
+)
+ranges = st.tuples(st.integers(0, 1000), st.integers(1, 200))
+
+
+def build(batch):
+    """Insert what fits; return (FragmentList, accepted list)."""
+    fragments = FragmentList()
+    accepted = []
+    for offset, size in batch:
+        if any(offset < o + s and o < offset + size for o, s in accepted):
+            continue
+        fragments.insert(offset, size, ShiftPayload(offset))
+        accepted.append((offset, size))
+    return fragments, accepted
+
+
+class TestFragmentListProperties:
+    @given(fragment_batches)
+    @settings(max_examples=200, deadline=None)
+    def test_sorted_and_disjoint(self, batch):
+        fragments, accepted = build(batch)
+        items = list(fragments)
+        offsets = [fragment.offset for fragment in items]
+        assert offsets == sorted(offsets)
+        for left, right in zip(items, items[1:]):
+            assert left.end <= right.offset
+
+    @given(fragment_batches, st.integers(0, 1100))
+    @settings(max_examples=200, deadline=None)
+    def test_find_matches_naive_scan(self, batch, probe):
+        fragments, accepted = build(batch)
+        naive = next(
+            ((o, s) for o, s in accepted if o <= probe < o + s), None)
+        found = fragments.find(probe)
+        if naive is None:
+            assert found is None
+        else:
+            assert (found.offset, found.size) == naive
+
+    @given(fragment_batches, ranges)
+    @settings(max_examples=200, deadline=None)
+    def test_remove_range_removes_exactly_the_range(self, batch, cut):
+        fragments, accepted = build(batch)
+        covered_before = {
+            point
+            for offset, size in accepted
+            for point in range(offset, offset + size)
+        }
+        cut_offset, cut_size = cut
+        fragments.remove_range(cut_offset, cut_size)
+        covered_after = {
+            point
+            for fragment in fragments
+            for point in range(fragment.offset, fragment.end)
+        }
+        cut_points = set(range(cut_offset, cut_offset + cut_size))
+        assert covered_after == covered_before - cut_points
+
+    @given(fragment_batches, ranges)
+    @settings(max_examples=200, deadline=None)
+    def test_split_payloads_keep_absolute_base(self, batch, cut):
+        """After any removal, payload.base + 0 == fragment.offset's
+        original absolute position: lookups through split fragments
+        still target the right parent offsets."""
+        fragments, _ = build(batch)
+        fragments.remove_range(*cut)
+        for fragment in fragments:
+            assert fragment.payload.base == fragment.offset
+
+    @given(fragment_batches, ranges)
+    @settings(max_examples=100, deadline=None)
+    def test_overlapping_agrees_with_find(self, batch, probe_range):
+        fragments, _ = build(batch)
+        offset, size = probe_range
+        hits = fragments.overlapping(offset, size)
+        for fragment in fragments:
+            expected = fragment.overlaps(offset, size)
+            assert (fragment in hits) == expected
+
+
+class TestPageArithmetic:
+    @given(st.integers(0, 2**48), st.sampled_from([4096, 8192, 16384]))
+    @settings(max_examples=300, deadline=None)
+    def test_floor_ceil_bracket(self, offset, page):
+        assert page_floor(offset, page) <= offset <= page_ceil(offset, page)
+        assert page_floor(offset, page) % page == 0
+        assert page_ceil(offset, page) % page == 0
+        assert page_ceil(offset, page) - page_floor(offset, page) in (0, page)
+
+    @given(st.integers(0, 2**48), st.sampled_from([4096, 8192]))
+    @settings(max_examples=300, deadline=None)
+    def test_index_offset_decompose(self, offset, page):
+        assert page_index(offset, page) * page + page_offset(offset, page) \
+            == offset
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**16),
+           st.sampled_from([4096, 8192]))
+    @settings(max_examples=300, deadline=None)
+    def test_page_range_covers_span(self, offset, size, page):
+        starts = list(page_range(offset, size, page))
+        assert len(starts) == pages_spanned(offset, size, page)
+        if size > 0:
+            assert starts[0] == page_floor(offset, page)
+            assert starts[-1] == page_floor(offset + size - 1, page)
+            for left, right in zip(starts, starts[1:]):
+                assert right - left == page
+        else:
+            assert starts == []

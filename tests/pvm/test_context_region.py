@@ -1,0 +1,239 @@
+"""Unit tests for contexts and regions (Table 2 semantics)."""
+
+import pytest
+
+from repro.errors import InvalidOperation, StaleObject
+from repro.gmi.types import Protection
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class TestContext:
+    def test_create_and_destroy(self, pvm):
+        ctx = pvm.context_create("a")
+        assert ctx in pvm.contexts()
+        ctx.destroy()
+        assert ctx not in pvm.contexts()
+        with pytest.raises(StaleObject):
+            ctx.get_region_list()
+
+    def test_switch_sets_current(self, pvm):
+        a = pvm.context_create("a")
+        b = pvm.context_create("b")
+        b.switch()
+        assert pvm.current_context is b
+
+    def test_destroy_unmaps_regions(self, pvm, make_cache):
+        ctx = pvm.context_create()
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000, b"x")
+        ctx.destroy()
+        assert region.destroyed
+        # The cache survives context destruction (segment caching).
+        assert not cache.destroyed
+
+
+class TestRegionCreate:
+    def test_region_list_sorted(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        r2 = ctx.region_create(0x20000, PAGE, Protection.RW, cache, 0)
+        r1 = ctx.region_create(0x10000, PAGE, Protection.RW, cache, PAGE)
+        assert ctx.get_region_list() == [r1, r2]
+
+    def test_unaligned_address_rejected(self, pvm, ctx, make_cache):
+        with pytest.raises(InvalidOperation):
+            ctx.region_create(0x10001, PAGE, Protection.RW, make_cache(), 0)
+
+    def test_unaligned_size_rejected(self, pvm, ctx, make_cache):
+        with pytest.raises(InvalidOperation):
+            ctx.region_create(0x10000, 100, Protection.RW, make_cache(), 0)
+
+    def test_unaligned_offset_rejected(self, pvm, ctx, make_cache):
+        with pytest.raises(InvalidOperation):
+            ctx.region_create(0x10000, PAGE, Protection.RW, make_cache(), 5)
+
+    def test_overlap_rejected(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache, 0)
+        with pytest.raises(InvalidOperation):
+            ctx.region_create(0x10000 + 2 * PAGE, PAGE, Protection.RW,
+                              cache, 0)
+
+    def test_mapping_destroyed_cache_rejected(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        cache.destroy()
+        with pytest.raises(StaleObject):
+            ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+
+    def test_same_cache_twice(self, pvm, ctx, make_cache):
+        """Two regions may map the same cache (section 3.2)."""
+        cache = make_cache()
+        ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x20000, PAGE, Protection.READ, cache, 0)
+        pvm.user_write(ctx, 0x10000, b"shared")
+        assert pvm.user_read(ctx, 0x20000, 6) == b"shared"
+
+
+class TestFindRegion:
+    def test_find_hits_and_misses(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        assert ctx.find_region(0x10000) is region
+        assert ctx.find_region(0x10000 + 2 * PAGE - 1) is region
+        assert ctx.find_region(0x10000 + 2 * PAGE) is None
+        assert ctx.find_region(0xFFFF) is None
+
+    def test_allocate_address_skips_regions(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        ctx.region_create(PAGE, 2 * PAGE, Protection.RW, cache, 0)
+        addr = ctx.allocate_address(4 * PAGE)
+        assert addr >= 3 * PAGE
+        ctx.region_create(addr, 4 * PAGE, Protection.RW, cache, 0)
+
+
+class TestSplit:
+    def test_split_preserves_coverage(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000 + 3 * PAGE, b"upper")
+        upper = region.split(2 * PAGE)
+        assert region.size == 2 * PAGE
+        assert upper.address == 0x10000 + 2 * PAGE
+        assert upper.offset == 2 * PAGE
+        # Data is still reachable through the new region.
+        assert pvm.user_read(ctx, 0x10000 + 3 * PAGE, 5) == b"upper"
+
+    def test_split_then_different_protections(self, pvm, ctx, make_cache):
+        """The paper's rationale for split: protecting parts differently."""
+        from repro.errors import AccessViolation
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        upper = region.split(PAGE)
+        upper.set_protection(Protection.READ)
+        pvm.user_write(ctx, 0x10000, b"ok")
+        with pytest.raises(AccessViolation):
+            pvm.user_write(ctx, 0x10000 + PAGE, b"no")
+
+    def test_split_bad_offsets(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        with pytest.raises(InvalidOperation):
+            region.split(0)
+        with pytest.raises(InvalidOperation):
+            region.split(2 * PAGE)
+        with pytest.raises(InvalidOperation):
+            region.split(100)
+
+    def test_no_spontaneous_split(self, pvm, ctx, make_cache):
+        """Faulting and protection never change the region list."""
+        cache = make_cache()
+        ctx.region_create(0x10000, 8 * PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000 + 5 * PAGE, b"data")
+        assert len(ctx.get_region_list()) == 1
+
+
+class TestStatus:
+    def test_status_fields(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache,
+                                   2 * PAGE)
+        pvm.user_write(ctx, 0x10000, b"x")
+        status = region.status()
+        assert status.address == 0x10000
+        assert status.size == 4 * PAGE
+        assert status.protection == Protection.RW
+        assert status.cache is cache
+        assert status.offset == 2 * PAGE
+        assert status.resident_pages == 1
+        assert not status.locked
+
+    def test_window_into_segment(self, pvm, ctx, make_cache):
+        """A region may be a window into part of a segment."""
+        cache = make_cache()
+        cache.write(3 * PAGE, b"windowed")
+        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache,
+                                   3 * PAGE)
+        assert pvm.user_read(ctx, 0x10000, 8) == b"windowed"
+
+
+class TestDestroy:
+    def test_destroy_unmaps(self, pvm, ctx, make_cache):
+        from repro.errors import SegmentationFault
+        cache = make_cache()
+        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000, b"gone")
+        region.destroy()
+        with pytest.raises(SegmentationFault):
+            pvm.user_read(ctx, 0x10000, 4)
+
+    def test_destroy_keeps_cache_data(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000, b"kept")
+        region.destroy()
+        assert cache.read(0, 4) == b"kept"
+
+    def test_double_destroy_rejected(self, pvm, ctx, make_cache):
+        region = ctx.region_create(0x10000, PAGE, Protection.RW,
+                                   make_cache(), 0)
+        region.destroy()
+        with pytest.raises(StaleObject):
+            region.destroy()
+
+
+class TestProtection:
+    def test_read_only_region_blocks_write(self, pvm, ctx, make_cache):
+        from repro.errors import AccessViolation
+        cache = make_cache()
+        cache.write(0, b"ro")
+        ctx.region_create(0x10000, PAGE, Protection.READ, cache, 0)
+        assert pvm.user_read(ctx, 0x10000, 2) == b"ro"
+        with pytest.raises(AccessViolation):
+            pvm.user_write(ctx, 0x10000, b"X")
+
+    def test_upgrade_protection(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, PAGE, Protection.READ, cache, 0)
+        pvm.user_read(ctx, 0x10000, 1)
+        region.set_protection(Protection.RW)
+        pvm.user_write(ctx, 0x10000, b"now ok")
+        assert pvm.user_read(ctx, 0x10000, 6) == b"now ok"
+
+    def test_downgrade_applies_to_resident_pages(self, pvm, ctx, make_cache):
+        from repro.errors import AccessViolation
+        cache = make_cache()
+        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        pvm.user_write(ctx, 0x10000, b"data")
+        region.set_protection(Protection.READ)
+        with pytest.raises(AccessViolation):
+            pvm.user_write(ctx, 0x10000, b"X")
+
+
+class TestLockInMemory:
+    def test_lock_pins_pages(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region.lock_in_memory()
+        assert region.status().resident_pages == 2
+        for offset in (0, PAGE):
+            assert cache.pages[offset].pinned
+
+    def test_locked_region_never_faults(self, pvm, ctx, make_cache):
+        """After lockInMemory, access proceeds without faults."""
+        cache = make_cache()
+        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region.lock_in_memory()
+        faults_before = pvm.bus.stats.get("faults")
+        pvm.user_write(ctx, 0x10000, b"realtime")
+        pvm.user_read(ctx, 0x10000 + PAGE, 16)
+        assert pvm.bus.stats.get("faults") == faults_before
+
+    def test_unlock_unpins(self, pvm, ctx, make_cache):
+        cache = make_cache()
+        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        region.lock_in_memory()
+        region.unlock()
+        assert not cache.pages[0].pinned
+        assert not region.locked

@@ -1,0 +1,150 @@
+"""Unit tests for the fragment-list structure (section 4.2.4)."""
+
+import pytest
+
+from repro.errors import InvalidOperation
+from repro.pvm.fragments import Fragment, FragmentList
+
+
+class Payload:
+    """Test payload tracking its shift history."""
+
+    def __init__(self, tag, base=0):
+        self.tag = tag
+        self.base = base
+
+    def shifted(self, delta):
+        return Payload(self.tag, self.base + delta)
+
+    def __eq__(self, other):
+        return (self.tag, self.base) == (other.tag, other.base)
+
+    def __repr__(self):
+        return f"Payload({self.tag}, {self.base})"
+
+
+class TestInsert:
+    def test_insert_and_find(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        found = fragments.find(120)
+        assert found is not None and found.payload.tag == "a"
+
+    def test_find_misses_outside(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        assert fragments.find(99) is None
+        assert fragments.find(150) is None          # end-exclusive
+
+    def test_sorted_order(self):
+        fragments = FragmentList()
+        fragments.insert(200, 10, Payload("b"))
+        fragments.insert(100, 10, Payload("a"))
+        fragments.insert(300, 10, Payload("c"))
+        assert [f.payload.tag for f in fragments] == ["a", "b", "c"]
+
+    def test_overlap_with_predecessor_rejected(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        with pytest.raises(InvalidOperation):
+            fragments.insert(149, 10, Payload("b"))
+
+    def test_overlap_with_successor_rejected(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        with pytest.raises(InvalidOperation):
+            fragments.insert(60, 41, Payload("b"))
+
+    def test_adjacent_fragments_allowed(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        fragments.insert(150, 50, Payload("b"))
+        assert len(fragments) == 2
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidOperation):
+            FragmentList().insert(0, 0, Payload("a"))
+
+
+class TestOverlapping:
+    def test_overlapping_selection(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        fragments.insert(20, 10, Payload("b"))
+        fragments.insert(40, 10, Payload("c"))
+        hits = fragments.overlapping(5, 30)          # [5, 35)
+        assert [f.payload.tag for f in hits] == ["a", "b"]
+
+    def test_overlapping_empty(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        assert fragments.overlapping(10, 5) == []
+
+
+class TestRemoveRange:
+    def test_exact_removal(self):
+        fragments = FragmentList()
+        fragments.insert(100, 50, Payload("a"))
+        removed = fragments.remove_range(100, 50)
+        assert len(fragments) == 0
+        assert removed[0].offset == 100 and removed[0].size == 50
+
+    def test_split_middle(self):
+        fragments = FragmentList()
+        fragments.insert(0, 100, Payload("a"))
+        removed = fragments.remove_range(40, 20)
+        assert [(f.offset, f.size) for f in fragments] == [(0, 40), (60, 40)]
+        # The tail keeps a payload shifted by its distance from the
+        # original start, so (offset -> target) mapping stays correct.
+        tail = fragments.find(60)
+        assert tail.payload.base == 60
+        assert removed[0].payload.base == 40
+
+    def test_split_head(self):
+        fragments = FragmentList()
+        fragments.insert(0, 100, Payload("a"))
+        fragments.remove_range(0, 30)
+        remaining = list(fragments)[0]
+        assert (remaining.offset, remaining.size) == (30, 70)
+        assert remaining.payload.base == 30
+
+    def test_remove_spanning_multiple(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        fragments.insert(10, 10, Payload("b"))
+        fragments.insert(20, 10, Payload("c"))
+        removed = fragments.remove_range(5, 20)
+        assert [(f.offset, f.size) for f in fragments] == [(0, 5), (25, 5)]
+        assert len(removed) == 3
+
+    def test_remove_untouched(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        assert fragments.remove_range(50, 10) == []
+        assert len(fragments) == 1
+
+
+class TestMisc:
+    def test_remove_if(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        fragments.insert(10, 10, Payload("b"))
+        assert fragments.remove_if(lambda p: p.tag == "a") == 1
+        assert [f.payload.tag for f in fragments] == ["b"]
+
+    def test_replace_payloads(self):
+        fragments = FragmentList()
+        fragments.insert(0, 10, Payload("a"))
+        fragments.insert(10, 10, Payload("a"))
+        count = fragments.replace_payloads(
+            Payload("a"), lambda f: Payload("z", f.offset))
+        assert count == 2
+        assert all(f.payload.tag == "z" for f in fragments)
+
+    def test_bool_and_clear(self):
+        fragments = FragmentList()
+        assert not fragments
+        fragments.insert(0, 10, Payload("a"))
+        assert fragments
+        fragments.clear()
+        assert not fragments

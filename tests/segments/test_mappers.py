@@ -1,0 +1,143 @@
+"""Unit tests for capabilities, the disk model and the mappers."""
+
+import pytest
+
+from repro.errors import CapabilityError, InvalidOperation
+from repro.kernel.clock import CostEvent, VirtualClock
+from repro.segments import (
+    Capability, DiskMapper, MemoryMapper, SimulatedDisk, SwapMapper,
+)
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class TestCapability:
+    def test_keys_are_sparse_and_unique(self):
+        keys = {Capability("p").key for _ in range(1000)}
+        assert len(keys) == 1000
+
+    def test_uid_stable(self):
+        cap = Capability("mapper", key=0x1234)
+        assert cap.uid == "mapper:0000000000001234"
+
+    def test_frozen(self):
+        cap = Capability("p")
+        with pytest.raises(AttributeError):
+            cap.key = 5
+
+
+class TestSimulatedDisk:
+    def test_read_unwritten_block_is_zero(self):
+        disk = SimulatedDisk(PAGE)
+        assert disk.read_block(5) == bytes(PAGE)
+
+    def test_write_read_roundtrip(self):
+        disk = SimulatedDisk(PAGE)
+        disk.write_block(3, b"abc")
+        data = disk.read_block(3)
+        assert data[:3] == b"abc" and len(data) == PAGE
+
+    def test_oversized_write_rejected(self):
+        disk = SimulatedDisk(PAGE)
+        with pytest.raises(InvalidOperation):
+            disk.write_block(0, b"x" * (PAGE + 1))
+
+    def test_latency_charged(self):
+        clock = VirtualClock()
+        disk = SimulatedDisk(PAGE, clock=clock, seek_ms=20, transfer_ms=4)
+        disk.read_block(0)
+        assert clock.now() == pytest.approx(24.0)
+        # Sequential read: no seek.
+        disk.read_block(1)
+        assert clock.now() == pytest.approx(28.0)
+        # Random read: seek again.
+        disk.read_block(10)
+        assert clock.now() == pytest.approx(52.0)
+        assert clock.count(CostEvent.DISK_READ_PAGE) == 3
+
+
+class TestMemoryMapper:
+    def test_register_and_read(self):
+        mapper = MemoryMapper()
+        cap = mapper.register(b"hello world")
+        assert mapper.read_segment(cap.key, 0, 5) == b"hello"
+
+    def test_read_past_eof_zero_padded(self):
+        mapper = MemoryMapper()
+        cap = mapper.register(b"abc")
+        assert mapper.read_segment(cap.key, 0, 6) == b"abc\x00\x00\x00"
+
+    def test_write_extends(self):
+        mapper = MemoryMapper()
+        cap = mapper.register(b"")
+        mapper.write_segment(cap.key, 10, b"xy")
+        assert mapper.segment_size(cap.key) == 12
+        assert mapper.read_segment(cap.key, 10, 2) == b"xy"
+
+    def test_unknown_key_rejected(self):
+        mapper = MemoryMapper()
+        with pytest.raises(CapabilityError):
+            mapper.read_segment(999, 0, 1)
+
+    def test_wrong_port_capability_rejected(self):
+        mapper = MemoryMapper()
+        with pytest.raises(CapabilityError):
+            mapper.check_capability(Capability("other-port"))
+
+    def test_not_a_default_mapper(self):
+        with pytest.raises(CapabilityError):
+            MemoryMapper().create_temporary()
+
+
+class TestSwapMapper:
+    def test_temporary_lifecycle(self):
+        mapper = SwapMapper()
+        cap = mapper.create_temporary()
+        assert mapper.segment_size(cap.key) == 0
+        mapper.write_segment(cap.key, PAGE, b"\x01" * PAGE)
+        assert mapper.segment_size(cap.key) == 2 * PAGE
+        assert mapper.read_segment(cap.key, PAGE, 4) == b"\x01" * 4
+        mapper.destroy_segment(cap.key)
+        assert mapper.live_segments == 0
+
+    def test_unwritten_pages_read_zero(self):
+        mapper = SwapMapper()
+        cap = mapper.create_temporary()
+        assert mapper.read_segment(cap.key, 0, 8) == bytes(8)
+
+
+class TestDiskMapper:
+    @pytest.fixture
+    def rig(self):
+        clock = VirtualClock()
+        disk = SimulatedDisk(PAGE, clock=clock)
+        return clock, disk, DiskMapper(disk)
+
+    def test_file_roundtrip(self, rig):
+        clock, disk, mapper = rig
+        payload = bytes(range(256)) * 64           # 16 KB
+        cap = mapper.create_file(payload)
+        assert mapper.read_segment(cap.key, 0, len(payload)) == payload
+        assert mapper.segment_size(cap.key) == len(payload)
+
+    def test_reads_pay_disk_latency(self, rig):
+        clock, disk, mapper = rig
+        cap = mapper.create_file(b"x" * PAGE)
+        before = clock.now()
+        mapper.read_segment(cap.key, 0, PAGE)
+        assert clock.now() > before
+
+    def test_partial_page_write_preserves_rest(self, rig):
+        clock, disk, mapper = rig
+        cap = mapper.create_file(b"A" * PAGE)
+        mapper.write_segment(cap.key, 100, b"BB")
+        data = mapper.read_segment(cap.key, 0, PAGE)
+        assert data[99:103] == b"ABBA"
+
+    def test_sparse_holes_read_zero(self, rig):
+        clock, disk, mapper = rig
+        cap = mapper.create_file(b"")
+        mapper.write_segment(cap.key, 4 * PAGE, b"\x07" * PAGE)
+        assert mapper.read_segment(cap.key, 0, 4) == bytes(4)
+        assert mapper.read_segment(cap.key, 4 * PAGE, 2) == b"\x07\x07"

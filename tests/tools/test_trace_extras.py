@@ -1,0 +1,63 @@
+"""EventTrace time-window queries and nested usage."""
+
+import pytest
+
+from repro.kernel.clock import CostEvent, CostModel, VirtualClock
+from repro.tools import EventTrace
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock(CostModel({
+        CostEvent.BCOPY_PAGE: 1.0,
+        CostEvent.BZERO_PAGE: 0.5,
+    }))
+
+
+class TestBetween:
+    def test_window_selects_by_timestamp(self, clock):
+        with EventTrace(clock) as trace:
+            clock.charge(CostEvent.BCOPY_PAGE)      # t=0.0 -> 1.0
+            clock.charge(CostEvent.BZERO_PAGE)      # t=1.0 -> 1.5
+            clock.charge(CostEvent.BCOPY_PAGE)      # t=1.5 -> 2.5
+        window = trace.between(0.5, 1.6)
+        assert [record.event for record in window] == \
+            [CostEvent.BZERO_PAGE, CostEvent.BCOPY_PAGE]
+
+    def test_empty_window(self, clock):
+        with EventTrace(clock) as trace:
+            clock.charge(CostEvent.BCOPY_PAGE)
+        assert trace.between(5.0, 9.0) == []
+
+
+class TestNesting:
+    def test_nested_traces_both_record(self, clock):
+        with EventTrace(clock) as outer:
+            clock.charge(CostEvent.BCOPY_PAGE)
+            with EventTrace(clock) as inner:
+                clock.charge(CostEvent.BZERO_PAGE)
+            clock.charge(CostEvent.BCOPY_PAGE)
+        assert len(inner.records) == 1
+        assert len(outer.records) == 3
+
+    def test_time_still_advances_under_trace(self, clock):
+        with EventTrace(clock):
+            clock.charge(CostEvent.BCOPY_PAGE, 3)
+        assert clock.now() == pytest.approx(3.0)
+
+
+class TestFormat:
+    def test_truncation_notice(self, clock):
+        with EventTrace(clock) as trace:
+            for _ in range(60):
+                clock.charge(CostEvent.BCOPY_PAGE)
+        text = trace.format(limit=10)
+        assert "50 more" in text
+
+    def test_counts_collapsed_in_records(self, clock):
+        with EventTrace(clock) as trace:
+            clock.charge(CostEvent.BCOPY_PAGE, 5)
+        assert len(trace.records) == 1
+        assert trace.records[0].count == 5
+        assert trace.histogram()[CostEvent.BCOPY_PAGE] == 5
+        assert "x5" in trace.format()

@@ -1,0 +1,82 @@
+"""The workload generators behave as their ablations assume."""
+
+import pytest
+
+from repro.bench import costmodel
+from repro.workloads import (
+    fork_exit_chain, large_make, message_sweep, shell_pipeline,
+)
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class TestShellPipeline:
+    def test_history_side_stays_flat(self):
+        metrics = shell_pipeline(costmodel.chorus_nucleus(), generations=6)
+        assert metrics.generations == 6
+        assert metrics.final_chain_depth == 0
+        assert metrics.virtual_ms > 0
+
+    def test_shadow_side_grows(self):
+        metrics = shell_pipeline(costmodel.mach_nucleus(auto_merge=False),
+                                 generations=6)
+        assert metrics.final_chain_depth == 6
+        assert metrics.internal_objects >= 6
+
+    def test_deterministic(self):
+        first = shell_pipeline(costmodel.chorus_nucleus(), generations=4)
+        second = shell_pipeline(costmodel.chorus_nucleus(), generations=4)
+        assert first == second
+
+
+class TestForkExitChain:
+    def test_collapse_bounds_depth(self):
+        plain = fork_exit_chain(costmodel.chorus_nucleus(), 6)
+        folded = fork_exit_chain(costmodel.chorus_nucleus(), 6,
+                                 collapse=True)
+        assert plain.final_chain_depth == 6
+        assert folded.final_chain_depth <= 1
+        assert folded.merge_pages > 0
+
+    def test_data_survives_generations(self):
+        """The workload's own invariant: the last generation sees its
+        ancestors' untouched pages (checked inside by the deep read)."""
+        metrics = fork_exit_chain(costmodel.chorus_nucleus(), 5)
+        assert metrics.source_write_ms_last_gen >= 0
+
+
+class TestLargeMake:
+    def test_reports_consistent_counters(self):
+        metrics = large_make(costmodel.chorus_nucleus(), compilations=3)
+        assert metrics.execs == 9
+        assert metrics.ms_per_exec == pytest.approx(
+            metrics.virtual_ms / metrics.execs)
+        assert metrics.warm_hits + metrics.cold_misses > 0
+
+    def test_caching_monotonicity(self):
+        cold = large_make(
+            costmodel.chorus_nucleus(max_cached_segments=0),
+            compilations=3)
+        warm = large_make(
+            costmodel.chorus_nucleus(max_cached_segments=16),
+            compilations=3)
+        assert warm.virtual_ms < cold.virtual_ms
+        assert warm.disk_reads < cold.disk_reads
+
+
+class TestMessageSweep:
+    def test_paths_assigned_by_alignment(self):
+        points = message_sweep(costmodel.chorus_nucleus(),
+                               [100, PAGE, PAGE + 1, 2 * PAGE])
+        paths = {point.size: point.path for point in points}
+        assert paths[100] == "bcopy"
+        assert paths[PAGE] == "transit"
+        assert paths[PAGE + 1] == "bcopy"
+        assert paths[2 * PAGE] == "transit"
+
+    def test_transit_cost_scales_with_pages(self):
+        points = message_sweep(costmodel.chorus_nucleus(),
+                               [PAGE, 4 * PAGE])
+        cost = {point.size: point.virtual_ms_per_msg for point in points}
+        assert cost[4 * PAGE] > cost[PAGE]
