@@ -21,6 +21,7 @@ from repro.gmi.upcalls import SegmentProvider
 from repro.ipc.message import Message
 from repro.net.network import Network
 from repro.nucleus.nucleus import Nucleus
+from repro.obs import NULL_PROBE
 
 
 class _AgentCache:
@@ -73,6 +74,8 @@ class _RemoteSiteProvider(SegmentProvider):
     def __init__(self, dsm: "NetworkedDsm", site: str):
         self.dsm = dsm
         self.site = site
+        #: rebound to the joining nucleus's probe in NetworkedDsm.join.
+        self.probe = NULL_PROBE
 
     def _manager_rpc(self, header: dict,
                      data: Optional[bytes] = None) -> Message:
@@ -82,28 +85,41 @@ class _RemoteSiteProvider(SegmentProvider):
 
     def pull_in(self, cache, offset: int, size: int,
                 access_mode: AccessMode) -> None:
-        reply = self._manager_rpc({
-            "op": "pull", "site": self.site, "offset": offset,
-            "size": size,
-        })
-        if reply.header.get("zero"):
-            cache.fill_zero(offset, size)
-        else:
-            cache.fill_up(offset, reply.inline)
+        with self.probe.span("dsm.fetch") as span:
+            if span:
+                span.set(site=self.site, offset=offset, op="pull")
+            reply = self._manager_rpc({
+                "op": "pull", "site": self.site, "offset": offset,
+                "size": size,
+            })
+            zero = bool(reply.header.get("zero"))
+            if span:
+                span.set(zero=zero)
+            if zero:
+                cache.fill_zero(offset, size)
+            else:
+                cache.fill_up(offset, reply.inline)
+        self.probe.count("dsm.pull")
 
     def get_write_access(self, cache, offset: int, size: int) -> None:
-        self._manager_rpc({
-            "op": "grant", "site": self.site, "offset": offset,
-            "size": size,
-        })
-        # The grant names this site the exclusive owner; lift the local
-        # write cap (remote caps were re-imposed via the agents).
-        cache.set_protection(offset, size, Protection.RWX)
+        with self.probe.span("dsm.fetch") as span:
+            if span:
+                span.set(site=self.site, offset=offset, op="grant")
+            self._manager_rpc({
+                "op": "grant", "site": self.site, "offset": offset,
+                "size": size,
+            })
+            # The grant names this site the exclusive owner; lift the
+            # local write cap (remote caps were re-imposed via the
+            # agents).
+            cache.set_protection(offset, size, Protection.RWX)
+        self.probe.count("dsm.grant")
 
     def push_out(self, cache, offset: int, size: int) -> None:
         self._manager_rpc({
             "op": "push", "site": self.site, "offset": offset,
         }, data=cache.copy_back(offset, size))
+        self.probe.count("dsm.push")
 
     def segment_create(self, cache) -> object:
         return f"dsm@{self.site}"
@@ -161,12 +177,13 @@ class NetworkedDsm:
              base: int = 0x100000) -> DsmSite:
         """Attach *site*'s nucleus: local cache + region + agent port."""
         provider = _RemoteSiteProvider(self, site)
+        provider.probe = getattr(nucleus.vm, "probe", None) or NULL_PROBE
         cache = nucleus.vm.cache_create(provider, name=f"{site}.dsm")
         self._caches[site] = cache
         actor = nucleus.create_actor(f"{site}.dsm-user")
         actor.context.region_create(
             base, self.segment_pages * self.page_size,
-            Protection.RW, cache, 0)
+            protection=Protection.RW, cache=cache)
 
         def agent(message: Message) -> Message:
             header = message.header

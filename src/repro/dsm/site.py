@@ -53,7 +53,7 @@ def make_dsm_cluster(site_names: List[str], segment_pages: int = 4,
         actor = nucleus.create_actor(name)
         actor.context.region_create(
             base, segment_pages * nucleus.vm.page_size,
-            Protection.RW, cache, 0)
+            protection=Protection.RW, cache=cache)
         manager.attach(name, cache)
         sites[name] = DsmSite(name=name, nucleus=nucleus, actor=actor,
                               cache=cache, base=base)

@@ -8,9 +8,28 @@ that tests can assert on precise failure modes.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Every instance carries a structured ``details`` dict alongside its
+    human-readable message, so callers (and the trace sinks) can log or
+    match on the facts of the failure — typically ``space``,
+    ``address``, ``cache_id`` and ``offset`` — without parsing strings:
+
+    >>> err = InvalidOperation("bad offset", cache_id=3, offset=0x2000)
+    >>> err.details["cache_id"]
+    3
+
+    Positional arguments behave exactly as for :class:`Exception`;
+    any keyword argument becomes a ``details`` entry.
+    """
+
+    def __init__(self, *args, **details: Any):
+        self.details: Dict[str, Any] = details
+        super().__init__(*args)
 
 
 # ---------------------------------------------------------------------------
@@ -28,23 +47,27 @@ class PageFault(HardwareFault):
     like the paper's "hardware page fault descriptor" (section 4.1.2).
     """
 
-    def __init__(self, address: int, write: bool, message: str = ""):
+    def __init__(self, address: int, write: bool, message: str = "",
+                 **details):
         self.address = address
         self.write = write
         super().__init__(
-            message or f"page fault at {address:#x} ({'write' if write else 'read'})"
+            message or f"page fault at {address:#x} ({'write' if write else 'read'})",
+            address=address, write=write, **details,
         )
 
 
 class ProtectionViolation(HardwareFault):
     """An access violated the page protection (e.g. write to read-only)."""
 
-    def __init__(self, address: int, write: bool, message: str = ""):
+    def __init__(self, address: int, write: bool, message: str = "",
+                 **details):
         self.address = address
         self.write = write
         super().__init__(
             message
-            or f"protection violation at {address:#x} ({'write' if write else 'read'})"
+            or f"protection violation at {address:#x} ({'write' if write else 'read'})",
+            address=address, write=write, **details,
         )
 
 
@@ -62,11 +85,12 @@ class SegmentationFault(ReproError):
     This is the "segmentation fault" exception of section 4.1.2.
     """
 
-    def __init__(self, address: int, context_name: str = "?"):
+    def __init__(self, address: int, context_name: str = "?", **details):
         self.address = address
         self.context_name = context_name
         super().__init__(
-            f"segmentation fault at {address:#x} in context {context_name}"
+            f"segmentation fault at {address:#x} in context {context_name}",
+            address=address, context=context_name, **details,
         )
 
 

@@ -51,14 +51,18 @@ class Cache:
 
     # -- Table 1: segment access ------------------------------------------------
 
-    def copy(self, src_offset: int, dst: "Cache", dst_offset: int, size: int,
-             policy: CopyPolicy = CopyPolicy.AUTO,
+    def copy(self, src_offset: int, dst: "Cache", dst_offset: int,
+             size: int, *, policy: CopyPolicy = CopyPolicy.AUTO,
              on_reference: bool = False) -> None:
         """Copy data from this cache (segment) into *dst*.
 
         With a deferring *policy* the data movement is delayed until a
         write (copy-on-write) or until any access (*on_reference*).
         The operation may cause faults (pull-ins) and block.
+
+        The option arguments are keyword-only (canonical signature,
+        docs/API.md); implementations accept the old positional order
+        for one release behind a :class:`DeprecationWarning`.
         """
         raise NotImplementedError
 
@@ -172,10 +176,20 @@ class Region:
 class Context:
     """A protected virtual address space (Table 2)."""
 
-    def region_create(self, address: int, size: int, protection: Protection,
-                      cache: Cache, offset: int) -> Region:
+    def region_create(self, address: int, size: int, *,
+                      protection: Protection, cache: Cache,
+                      offset: int = 0,
+                      advice: Optional[str] = None) -> Region:
         """Map *cache* (a window of its segment starting at *offset*)
-        at [address, address+size)."""
+        at [address, address+size).
+
+        The option arguments are keyword-only (canonical signature,
+        docs/API.md): *protection* and *cache* are required, *offset*
+        defaults to the segment start, and *advice* is an optional
+        residency hint ("willneed" | "sequential" | "random").
+        Implementations accept the old positional order for one
+        release behind a :class:`DeprecationWarning`.
+        """
         raise NotImplementedError
 
     def get_region_list(self) -> List[Region]:
@@ -201,10 +215,19 @@ class MemoryManager:
     #: Human-readable implementation name ("pvm", "mach-shadow", "eager").
     name = "abstract"
 
-    def cache_create(self, provider: SegmentProvider,
+    def cache_create(self, provider: SegmentProvider, *,
                      segment=None) -> Cache:
         """Bind a segment (represented by its *provider*) to a new,
-        empty local cache (Table 1's cacheCreate)."""
+        empty local cache (Table 1's cacheCreate).
+
+        Option arguments are keyword-only (canonical signature,
+        docs/API.md)."""
+        raise NotImplementedError
+
+    def metrics_snapshot(self) -> dict:
+        """One coherent document of every metric the manager keeps:
+        ``{"meta", "counters", "gauges", "histograms"}`` (see
+        docs/OBSERVABILITY.md and docs/obs_snapshot.schema.json)."""
         raise NotImplementedError
 
     def context_create(self) -> Context:

@@ -17,12 +17,17 @@ from repro.kernel.stats import EventCounter
 class TLB:
     """Translation lookaside buffer: (space, vpn) -> Mapping, LRU."""
 
-    def __init__(self, entries: int = 64):
+    def __init__(self, entries: int = 64, registry=None):
         if entries <= 0:
             raise ValueError("TLB must have at least one entry")
         self.capacity = entries
         self._entries: "OrderedDict[Tuple[int, int], Mapping]" = OrderedDict()
-        self.stats = EventCounter()
+        self.stats = EventCounter(registry=registry, namespace="tlb.")
+
+    def bind_registry(self, registry) -> None:
+        """Re-home the hit/miss counters into *registry* (preserving
+        counts), so a TLB built before its VM reports alongside it."""
+        self.stats.rebind(registry)
 
     def probe(self, space: int, vpn: int) -> Optional[Mapping]:
         """Look up a translation; None on miss."""

@@ -23,6 +23,7 @@ from repro.ipc.message import Message
 from repro.ipc.port import Port
 from repro.ipc.transit import TransitSegment
 from repro.kernel.clock import CostEvent
+from repro.obs import NULL_PROBE
 
 
 class IpcSubsystem:
@@ -31,6 +32,7 @@ class IpcSubsystem:
     def __init__(self, vm, transit_slots: int = 16):
         self.vm = vm
         self.clock = vm.clock
+        self.probe = getattr(vm, "probe", None) or NULL_PROBE
         self.transit = TransitSegment(vm, slots=transit_slots)
         self._ports: Dict[str, Port] = {}
 
@@ -64,14 +66,20 @@ class IpcSubsystem:
              src_cache=None, src_offset: int = 0, size: int = 0) -> Optional[Message]:
         """Send a message; returns the reply for server ports."""
         port = self.lookup_port(port_name)
-        self.clock.charge(CostEvent.IPC_SEND)
-        message = self._build(header or {}, data, src_cache, src_offset, size)
-        if port.is_server:
-            reply = port.handler(message)
-            self._dispose(message)
-            return reply
-        port.enqueue(message)
-        return None
+        with self.probe.span("ipc.transfer") as span:
+            self.clock.charge(CostEvent.IPC_SEND)
+            message = self._build(header or {}, data, src_cache,
+                                  src_offset, size)
+            if span:
+                span.set(direction="send", port=port_name,
+                         path="transit" if message.slot is not None
+                         else "inline")
+            if port.is_server:
+                reply = port.handler(message)
+                self._dispose(message)
+                return reply
+            port.enqueue(message)
+            return None
 
     def _build(self, header: dict, data: Optional[bytes], src_cache,
                src_offset: int, size: int) -> Message:
@@ -112,8 +120,17 @@ class IpcSubsystem:
         """
         port = self.lookup_port(port_name)
         if port.is_server:
-            raise IpcError(f"cannot receive on server port {port_name}")
-        self.clock.charge(CostEvent.IPC_RECEIVE)
+            raise IpcError(f"cannot receive on server port {port_name}",
+                           port=port_name)
+        with self.probe.span("ipc.transfer") as span:
+            if span:
+                span.set(direction="receive", port=port_name)
+            self.clock.charge(CostEvent.IPC_RECEIVE)
+            message = self._receive_payload(port, dst_cache, dst_offset)
+        return message
+
+    def _receive_payload(self, port: Port, dst_cache,
+                         dst_offset: int) -> Message:
         message = port.dequeue()
         if message.slot is not None:
             slot, message.slot = message.slot, None

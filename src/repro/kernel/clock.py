@@ -23,6 +23,7 @@ import enum
 from typing import Dict, Iterable, Optional
 
 from repro.kernel.stats import EventCounter
+from repro.obs.metrics import MetricsRegistry
 
 
 class CostEvent(enum.Enum):
@@ -118,13 +119,26 @@ class VirtualClock:
 
     The clock also counts every charged event, so experiments can report
     both virtual milliseconds *and* raw mechanism counts (faults taken,
-    frames allocated, shadow objects created, ...).
+    frames allocated, shadow objects created, ...).  Counts land in a
+    :class:`~repro.obs.metrics.MetricsRegistry` — by default a fresh
+    one, but a memory manager shares a single registry between its
+    clock, TLB, probe and reporting tools, which is what makes
+    ``vm.metrics_snapshot()`` one coherent document.
+
+    Listeners registered with :meth:`add_listener` observe every charge
+    as ``(time_before_charge_ms, event, count)``; this single hook
+    serves both the :class:`repro.tools.trace.EventTrace` shim and the
+    probe's per-span event attribution.  With no listeners the charge
+    path pays only an empty-tuple truth test.
     """
 
-    def __init__(self, model: Optional[CostModel] = None):
+    def __init__(self, model: Optional[CostModel] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.model = model or CostModel()
         self._now_ms = 0.0
-        self.counter = EventCounter()
+        self.registry = registry or MetricsRegistry()
+        self.counter = EventCounter(registry=self.registry)
+        self._listeners = ()
 
     # -- time ---------------------------------------------------------------
 
@@ -136,10 +150,29 @@ class VirtualClock:
         """Record *count* occurrences of *event*; return the cost added."""
         if count <= 0:
             return 0.0
+        start = self._now_ms
         self.counter.add(event.value, count)
         cost = self.model.price(event) * count
-        self._now_ms += cost
+        self._now_ms = start + cost
+        if self._listeners:
+            for listener in self._listeners:
+                listener(start, event, count)
         return cost
+
+    # -- charge listeners ----------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(time_ms, event, count)`` for every charge."""
+        self._listeners = (*self._listeners, listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a charge listener (no-op when absent)."""
+        # == not `is`: bound methods are re-created on each attribute
+        # access, so identity would never match.
+        self._listeners = tuple(
+            registered for registered in self._listeners
+            if registered != listener
+        )
 
     def advance(self, milliseconds: float) -> None:
         """Advance virtual time directly (e.g. simulated disk latency)."""

@@ -1,43 +1,84 @@
-"""Event counters shared by the simulated components."""
+"""Event counters shared by the simulated components.
+
+.. deprecated::
+    ``EventCounter`` is now a thin compatibility view over
+    :class:`repro.obs.metrics.MetricsRegistry`, the unified metrics
+    store (see ``docs/OBSERVABILITY.md``).  Existing call sites keep
+    working unchanged for one release; new code should take a
+    :class:`repro.obs.Probe` or a registry directly.
+"""
 
 from __future__ import annotations
 
-import threading
-from typing import Dict
+from typing import Dict, Optional, Set
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class EventCounter:
-    """A thread-safe bag of named integer counters.
+    """A bag of named integer counters (registry-backed shim).
 
-    Used by the virtual clock for priced events, by the TLB for
-    hit/miss accounting, by the pageout daemon for eviction stats, etc.
+    Each instance is a *namespaced view* of a registry: counters it
+    creates are remembered, and ``snapshot()`` / ``reset()`` touch only
+    those, so several components (clock events, TLB statistics, probe
+    counters) can share one registry without clobbering each other.
+
+    Constructed bare (``EventCounter()``) it owns a private registry
+    and behaves exactly like the original stand-alone counter bag.
     """
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counts: Dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 namespace: str = ""):
+        self.registry = registry or MetricsRegistry()
+        self.namespace = namespace
+        #: fully-qualified names this view has incremented.
+        self._owned: Set[str] = set()
+
+    def _full(self, name: str) -> str:
+        return self.namespace + name
 
     def add(self, name: str, count: int = 1) -> None:
         """Increment counter *name* by *count*."""
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + count
+        full = self._full(name)
+        if full not in self._owned:
+            self._owned.add(full)
+        self.registry.inc(full, count)
 
     def get(self, name: str) -> int:
         """Current value of counter *name* (0 if never incremented)."""
-        with self._lock:
-            return self._counts.get(name, 0)
+        return self.registry.counter_value(self._full(name))
 
     def reset(self) -> None:
-        """Zero every counter."""
-        with self._lock:
-            self._counts.clear()
+        """Zero every counter of this view (others in the shared
+        registry are untouched); bumps the registry generation."""
+        self.registry.drop_counters(self._owned)
+        self._owned.clear()
 
     def snapshot(self) -> Dict[str, int]:
-        """A copy of all counters."""
-        with self._lock:
-            return dict(self._counts)
+        """A copy of this view's counters, namespace stripped."""
+        values = self.registry.counter_values()
+        prefix = len(self.namespace)
+        return {
+            name[prefix:]: values[name]
+            for name in self._owned if name in values
+        }
+
+    def rebind(self, registry: MetricsRegistry) -> None:
+        """Move this view's counters into another registry.
+
+        Used when a component built before its manager (e.g. a TLB
+        handed to the constructor) is adopted into the manager's shared
+        registry: accumulated counts migrate so nothing is lost.
+        """
+        if registry is self.registry:
+            return
+        values = self.registry.counter_values()
+        self.registry.drop_counters(self._owned)
+        for name in self._owned:
+            if name in values and values[name]:
+                registry.inc(name, values[name])
+        self.registry = registry
 
     def __repr__(self) -> str:
-        with self._lock:
-            nonzero = {k: v for k, v in self._counts.items() if v}
+        nonzero = {k: v for k, v in self.snapshot().items() if v}
         return f"EventCounter({nonzero!r})"

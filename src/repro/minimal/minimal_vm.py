@@ -34,10 +34,10 @@ class RealTimeVirtualMemory(PagedVirtualMemory):
 
     def region_create(self, context: PvmContext, address: int, size: int,
                       protection: Protection, cache: PvmCache,
-                      offset: int) -> PvmRegion:
+                      offset: int, advice=None) -> PvmRegion:
         """Create a region fully resident, mapped and pinned (no later faults)."""
         region = super().region_create(context, address, size, protection,
-                                       cache, offset)
+                                       cache, offset, advice=advice)
         # Populate, map and pin every page now; from here on, access to
         # the region is deterministic.
         try:

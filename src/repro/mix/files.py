@@ -122,7 +122,8 @@ class FileTable:
         if address is None:
             address = actor.context.allocate_address(length)
         region = actor.context.region_create(
-            address, length, protection, entry.cache, offset)
+            address, length, protection=protection, cache=entry.cache,
+            offset=offset)
         entry.mappings.append(region)
         return region
 

@@ -70,8 +70,8 @@ class VmOpsMixin:
         cache = self.segment_manager.create_temporary(
             name=f"{actor.name}.anon")
         address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection,
-                                             cache, 0)
+        region = actor.context.region_create(address, size, protection=protection,
+                                             cache=cache, offset=0)
         self._retain_cache(
             cache, lambda: self.segment_manager.destroy_temporary(cache))
         self._record(actor, region, cache)
@@ -86,8 +86,8 @@ class VmOpsMixin:
         size = page_ceil(size, self.vm.page_size)
         cache = self.segment_manager.bind(capability)
         address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection,
-                                             cache, offset)
+        region = actor.context.region_create(address, size, protection=protection,
+                                             cache=cache, offset=offset)
         # bind() took one segment-manager reference; the disposer
         # returns it when the last Nucleus-level user goes away.
         self._retain_cache(
@@ -110,8 +110,8 @@ class VmOpsMixin:
                     on_reference=on_reference)
         self.segment_manager.release(capability)
         address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection,
-                                             cache, 0)
+        region = actor.context.region_create(address, size, protection=protection,
+                                             cache=cache, offset=0)
         self._retain_cache(
             cache, lambda: self.segment_manager.destroy_temporary(cache))
         self._record(actor, region, cache)
@@ -127,8 +127,9 @@ class VmOpsMixin:
         size = size if size is not None else status.size
         protection = protection if protection is not None else status.protection
         address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection,
-                                             status.cache, status.offset)
+        region = actor.context.region_create(address, size, protection=protection,
+                                             cache=status.cache,
+                                             offset=status.offset)
         self._retain_cache(status.cache)      # disposer owned by the original
         self._record(actor, region, status.cache)
         return region
@@ -149,8 +150,8 @@ class VmOpsMixin:
                           policy=CopyPolicy.HISTORY,
                           on_reference=on_reference)
         address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection,
-                                             cache, 0)
+        region = actor.context.region_create(address, size, protection=protection,
+                                             cache=cache, offset=0)
         self._retain_cache(
             cache, lambda: self.segment_manager.destroy_temporary(cache))
         self._record(actor, region, cache)

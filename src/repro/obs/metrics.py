@@ -1,0 +1,181 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+One registry per memory manager; the virtual clock, the TLB, the
+probe and the reporting tools all read and write the same instance.
+Counters are plain integers in a dict (the cheapest thing Python can
+increment under a lock); histograms keep a bounded sample plus exact
+count/sum/min/max, so percentiles stay available without unbounded
+memory growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+
+class Histogram:
+    """A latency/depth distribution: exact moments, sampled quantiles."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sample",
+                 "_sample_limit")
+
+    def __init__(self, name: str, sample_limit: int = 8192):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+        self._sample_limit = sample_limit
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._sample) < self._sample_limit:
+            self._sample.append(value)
+        else:
+            # Deterministic decimating reservoir: overwrite round-robin,
+            # keeping the sample representative without randomness.
+            self._sample[self.count % self._sample_limit] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0 <= q <= 100) over the kept sample."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-friendly digest used by ``MetricsRegistry.snapshot``."""
+        return {
+            "count": self.count,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3f})"
+
+
+class MetricsRegistry:
+    """A thread-safe bag of named counters, gauges and histograms.
+
+    The *generation* number increments on every (partial or full)
+    counter reset; interval samplers compare generations to detect that
+    their baseline went stale (the ``VmStat`` resampling contract).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.generation = 0
+
+    # -- counters -----------------------------------------------------------
+
+    def inc(self, name: str, count: int = 1) -> None:
+        """Increment counter *name* by *count*."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + count
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counter_values(self) -> Dict[str, int]:
+        """A copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def drop_counters(self, names: Iterable[str]) -> None:
+        """Remove the given counters entirely (a scoped reset).
+
+        Bumps the generation so samplers resample their baselines.
+        """
+        with self._lock:
+            for name in names:
+                self._counters.pop(name, None)
+            self.generation += 1
+
+    # -- gauges -------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge *name*."""
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    # -- histograms ---------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram *name*."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named *name* (created empty if absent)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            return histogram
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear every metric; bump the generation."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.generation += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """One atomic, JSON-serializable copy of everything."""
+        with self._lock:
+            return {
+                "generation": self.generation,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"MetricsRegistry({len(self._counters)} counters, "
+                    f"{len(self._gauges)} gauges, "
+                    f"{len(self._histograms)} histograms, "
+                    f"gen={self.generation})")

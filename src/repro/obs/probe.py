@@ -1,0 +1,160 @@
+"""The Probe: the one instrumentation facade components receive.
+
+Instead of each subsystem keeping its own counter bag (an
+``EventCounter`` here, a stats dataclass there, a wrapped clock in the
+tools), every component is handed a probe and speaks three verbs:
+
+* ``count(name)`` / ``gauge(name, v)`` / ``observe(name, v)`` —
+  metrics, always on, landing in the shared
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``span(name)`` — structured tracing, *off by default*: with the
+  null sink installed the call returns the shared no-op span
+  (falsy, zero allocation); with a real sink it returns a nested,
+  attributed :class:`~repro.obs.span.Span`;
+* ``event(name)`` — attach a named event to the innermost open span.
+
+When tracing is enabled and the probe knows the virtual clock, every
+``clock.charge`` is attributed to the innermost open span, so a span
+answers "which mechanism events happened inside this operation".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import NULL_SINK, SpanSink
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+
+
+class Probe:
+    """Instrumentation facade bound to one registry and one sink."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 sink: Optional[SpanSink] = None, clock=None):
+        self.registry = registry or MetricsRegistry()
+        # `is not None`, not truthiness: an empty RingBufferSink has
+        # len() == 0 and would be mistaken for "no sink".
+        self.sink = sink if sink is not None else NULL_SINK
+        self.clock = clock
+        self._stack: List[Span] = []
+        self._next_span_id = 1
+        self._listening = False
+        if self.sink.enabled and self.clock is not None:
+            self._attach_clock()
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when spans are being recorded (a real sink is installed)."""
+        return self.sink.enabled
+
+    def set_sink(self, sink: Optional[SpanSink]) -> SpanSink:
+        """Install *sink* (None disables tracing); returns the old sink.
+
+        Switching sinks mid-run is how the tools turn tracing on for one
+        phase of a workload and off again without touching the probe's
+        consumers.
+        """
+        previous = self.sink
+        self.sink = sink if sink is not None else NULL_SINK
+        if self.sink.enabled and self.clock is not None:
+            self._attach_clock()
+        elif not self.sink.enabled:
+            self._detach_clock()
+        return previous
+
+    def bind_clock(self, clock) -> None:
+        """Late-bind the virtual clock (managers build clock and probe
+        in either order)."""
+        self._detach_clock()
+        self.clock = clock
+        if self.sink.enabled and clock is not None:
+            self._attach_clock()
+
+    def _attach_clock(self) -> None:
+        if not self._listening and self.clock is not None:
+            self.clock.add_listener(self._on_charge)
+            self._listening = True
+
+    def _detach_clock(self) -> None:
+        if self._listening and self.clock is not None:
+            self.clock.remove_listener(self._on_charge)
+            self._listening = False
+
+    # -- metrics ------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a registry counter."""
+        self.registry.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a registry gauge."""
+        self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record into a registry histogram."""
+        self.registry.observe(name, value)
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str):
+        """Open a trace span (a context manager).
+
+        Returns the shared no-op span when tracing is disabled — test
+        with ``if span:`` before doing attribute-only work.
+        """
+        if not self.sink.enabled:
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self, name,
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            start_ms=self.clock.now() if self.clock is not None else 0.0,
+        )
+        self._next_span_id += 1
+        return span
+
+    def current_span(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Attribute a named event to the innermost open span (no-op
+        when tracing is off or no span is open)."""
+        if self._stack:
+            self._stack[-1].event(name, count)
+
+    # -- span bookkeeping (called by Span) ---------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            # A child span leaked past its parent's exit; close it too.
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        span.end_ms = self.clock.now() if self.clock is not None else 0.0
+        self.registry.observe(f"span.{span.name}.ms", span.duration_ms)
+        self.sink.emit(span)
+
+    def _on_charge(self, start_ms: float, event, count: int) -> None:
+        """Clock listener: attribute charged events to the open span."""
+        if self._stack:
+            stack_top = self._stack[-1]
+            stack_top.events[event.value] = \
+                stack_top.events.get(event.value, 0) + count
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"Probe(tracing={state}, {self.registry!r})"
+
+
+#: A do-nothing probe for components constructed without a manager
+#: (tracing off, metrics land in a throwaway registry).
+NULL_PROBE = Probe()

@@ -11,6 +11,7 @@ together they form the history tree of section 4.2.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
@@ -106,9 +107,16 @@ class PvmCache(Cache):
 
     # -- Table 1 -----------------------------------------------------------------
 
-    def copy(self, src_offset: int, dst: "PvmCache", dst_offset: int, size: int,
-             policy: CopyPolicy = CopyPolicy.AUTO,
+    def copy(self, src_offset: int, dst: "PvmCache", dst_offset: int,
+             size: int, *args, policy: CopyPolicy = CopyPolicy.AUTO,
              on_reference: bool = False) -> None:
+        if args:
+            warnings.warn(
+                "positional policy/on_reference arguments to cache.copy "
+                "are deprecated; pass them as keywords (see docs/API.md)",
+                DeprecationWarning, stacklevel=2)
+            policy = args[0] if len(args) > 0 else policy
+            on_reference = args[1] if len(args) > 1 else on_reference
         self._check_live()
         dst._check_live()
         self.pvm.cache_copy(self, src_offset, dst, dst_offset, size,

@@ -292,20 +292,24 @@ class CacheOpsMixin:
         self.global_map.insert(cache, offset, stub)
         self.clock.charge(CostEvent.PULL_IN)
         cache.stats.pull_ins += 1
-        try:
-            cache.provider.pull_in(cache, offset, self.page_size, mode)
-        except BaseException:
-            # The mapper failed (e.g. out of frames during fillUp):
-            # never leave an unresolvable stub behind — sleepers would
-            # hang forever.
-            if self.global_map.lookup(cache, offset) is stub:
-                self.global_map.remove(cache, offset)
-            stub.resolve()
-            raise
-        if not stub.done:
-            current = self.global_map.lookup(cache, offset)
-            if current is stub:
-                self._wait_stub(stub)
+        with self.probe.span("cache.pull_in") as span:
+            if span:
+                span.set(cache=cache.name, offset=offset,
+                         mode=mode.name.lower())
+            try:
+                cache.provider.pull_in(cache, offset, self.page_size, mode)
+            except BaseException:
+                # The mapper failed (e.g. out of frames during fillUp):
+                # never leave an unresolvable stub behind — sleepers
+                # would hang forever.
+                if self.global_map.lookup(cache, offset) is stub:
+                    self.global_map.remove(cache, offset)
+                stub.resolve()
+                raise
+            if not stub.done:
+                current = self.global_map.lookup(cache, offset)
+                if current is stub:
+                    self._wait_stub(stub)
 
     def _wait_stub(self, stub: SyncStub) -> None:
         """Sleep until the in-transit page arrives."""

@@ -8,6 +8,7 @@ the PVM), indexed by hardware address-space id for fault dispatch.
 from __future__ import annotations
 
 import bisect
+import warnings
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import StaleObject
@@ -51,11 +52,34 @@ class PvmContext(Context):
 
     # -- Table 2 -----------------------------------------------------------------------
 
-    def region_create(self, address: int, size: int, protection: Protection,
-                      cache: "PvmCache", offset: int) -> "PvmRegion":
+    def region_create(self, address: int, size: int, *args,
+                      protection: Optional[Protection] = None,
+                      cache: Optional["PvmCache"] = None, offset: int = 0,
+                      advice: Optional[str] = None) -> "PvmRegion":
+        """Map *cache* at [address, address+size) — canonical form.
+
+        The option arguments (protection, cache, offset, advice) are
+        keyword-only; the old positional order still works for one
+        release but emits a :class:`DeprecationWarning`.
+        """
+        if args:
+            warnings.warn(
+                "positional protection/cache/offset arguments to "
+                "region_create are deprecated; pass them as keywords "
+                "(see docs/API.md)",
+                DeprecationWarning, stacklevel=2)
+            if len(args) > 0:
+                protection = args[0]
+            if len(args) > 1:
+                cache = args[1]
+            if len(args) > 2:
+                offset = args[2]
+        if protection is None or cache is None:
+            raise TypeError(
+                "region_create() requires protection= and cache= arguments")
         self._check_live()
         return self.pvm.region_create(self, address, size, protection,
-                                      cache, offset)
+                                      cache, offset, advice=advice)
 
     def get_region_list(self) -> List["PvmRegion"]:
         self._check_live()

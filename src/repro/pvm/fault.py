@@ -25,25 +25,33 @@ class FaultMixin:
 
     def handle_fault(self, fault: FaultRecord) -> None:
         """Resolve one hardware fault (the bus retries the access)."""
-        with self.lock:
+        with self.lock, self.probe.span("fault.resolve") as span:
+            if span:
+                span.set(space=fault.space, address=fault.address,
+                         write=fault.write)
             self.clock.charge(CostEvent.FAULT_DISPATCH)
             context = self._space_contexts.get(fault.space)
             if context is None:
-                raise SegmentationFault(fault.address)
+                raise SegmentationFault(fault.address,
+                                        space=fault.space)
             region = context.find_region(fault.address)
             if region is None:
-                raise SegmentationFault(fault.address, context.name)
+                raise SegmentationFault(fault.address, context.name,
+                                        space=fault.space)
             if region.protection & Protection.SYSTEM \
                     and not fault.supervisor:
                 raise AccessViolation(
                     f"user-mode access at {fault.address:#x} to a "
-                    "system region"
+                    "system region",
+                    space=fault.space, address=fault.address,
                 )
             if not region.protection.allows(fault.write):
                 raise AccessViolation(
                     f"{'write' if fault.write else 'read'} at "
                     f"{fault.address:#x} violates region protection "
-                    f"{region.protection!r}"
+                    f"{region.protection!r}",
+                    space=fault.space, address=fault.address,
+                    write=fault.write,
                 )
             if not region.touched:
                 region.touched = True
@@ -54,10 +62,13 @@ class FaultMixin:
             vaddr = fault.address - (fault.address % self.page_size)
             offset = region.segment_offset(vaddr)
             cache = region.cache
+            self.probe.count("fault.write" if fault.write else "fault.read")
             if fault.write:
                 cache.stats.write_faults += 1
             else:
                 cache.stats.read_faults += 1
+            if span:
+                span.set(cache=cache.name, offset=offset)
             self._resolve_mapped(context, region, cache, offset, vaddr,
                                  fault.write)
 
@@ -84,7 +95,9 @@ class FaultMixin:
                 cap = self._prot_cap_at(cache, offset)
                 if not cap & Protection.WRITE:
                     raise AccessViolation(
-                        f"write to {vaddr:#x} denied by cache protection"
+                        f"write to {vaddr:#x} denied by cache protection",
+                        space=space, address=vaddr,
+                        cache_id=cache.cache_id, offset=offset,
                     )
                 effective = region_hw & cap.to_hardware()
                 effective |= region_hw & Prot.SYSTEM
@@ -120,7 +133,11 @@ class FaultMixin:
             if not page.write_granted:
                 prot &= ~Prot.WRITE
         if not prot:
-            raise AccessViolation(f"no access possible at {vaddr:#x}")
+            raise AccessViolation(
+                f"no access possible at {vaddr:#x}",
+                space=space, address=vaddr,
+                cache_id=cache.cache_id, offset=offset,
+            )
         self.hw.map_page(space, vaddr, page, prot,
                          consumer=(cache.cache_id, offset))
 

@@ -279,6 +279,7 @@ class HistoryMixin:
         possibly an ancestor's (cache misses are found looking upwards
         in the tree), pulling from the segment when nowhere resident."""
         current, current_offset = cache, offset
+        hops = 0
         while True:
             entry = self.global_map.lookup(current, current_offset)
             if isinstance(entry, SyncStub):
@@ -291,12 +292,18 @@ class HistoryMixin:
                 continue
             if isinstance(entry, RealPageDescriptor):
                 entry.referenced = True
+                # Depth samples feed the history.depth histogram only
+                # while a sink is attached: the disabled path must stay
+                # a plain integer increment.
+                if hops and self.probe.enabled:
+                    self.probe.observe("history.depth", hops)
                 return entry
             fragment = current.parents.find(current_offset)
             if fragment is not None and current_offset not in current.owned:
                 link = fragment.payload
                 current_offset = link.offset + (current_offset - fragment.offset)
                 current = link.cache
+                hops += 1
                 self.clock.charge(self.LOOKUP_EVENT)
                 continue
             self._pull_in(current, current_offset, AccessMode.READ)

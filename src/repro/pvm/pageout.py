@@ -46,11 +46,16 @@ class PageoutMixin:
     def reclaim_frames(self, target: int) -> int:
         """Evict up to *target* pages; return how many frames freed."""
         freed = 0
-        for page in self.policy.victims():
-            if freed >= target:
-                break
-            self._evict_page(page)
-            freed += 1
+        with self.probe.span("pageout.scan") as span:
+            for page in self.policy.victims():
+                if freed >= target:
+                    break
+                self._evict_page(page)
+                freed += 1
+            if span:
+                span.set(target=target, freed=freed)
+        if freed:
+            self.probe.count("pageout.evicted", freed)
         return freed
 
     def _evict_page(self, page: RealPageDescriptor) -> None:
@@ -59,6 +64,7 @@ class PageoutMixin:
         if page.dirty:
             self.clock.charge(CostEvent.PUSH_OUT)
             cache.stats.push_outs += 1
+            self.probe.count("pageout.dirty_pushed")
             cache.provider.push_out(cache, page.offset, self.page_size)
             page.dirty = False
         # Stubs survive the eviction: they re-target to (cache, offset);

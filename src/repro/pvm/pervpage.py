@@ -50,29 +50,34 @@ class PerPageMixin:
         of the source page and insert it in the global map in place of
         the stub (section 4.3)."""
         cache, offset = stub.cache, stub.offset
-        if stub.src_page is not None:
-            source = stub.src_page
-        else:
-            source = self._get_page_for_read(stub.src_cache, stub.src_offset)
-        frame = self._allocate_frame()
-        # The source page may have been evicted by the allocation above;
-        # re-resolve defensively.
-        if stub.src_page is None and source.cache is not stub.src_cache:
-            pass  # source was an ancestor's page: still valid to copy from
-        self.memory.copy_frame(source.frame, frame)
-        self.clock.charge(CostEvent.BCOPY_PAGE)
-        self.clock.charge(CostEvent.COW_STUB_RESOLVE)
-        stub.unthread()
-        page = RealPageDescriptor(cache, offset, frame)
-        page.dirty = True
-        cache.pages[offset] = page
-        cache.owned.add(offset)
-        self.global_map.replace(cache, offset, page)
-        # Readers that mapped the stub's source frame on this cache's
-        # behalf must refault onto the private copy.
-        self.hw.shootdown_served(cache, offset)
-        self._register_page(page)
-        cache.stats.copy_faults += 1
+        with self.probe.span("cow.materialize") as span:
+            if span:
+                span.set(cache=cache.name, offset=offset, kind="stub")
+            if stub.src_page is not None:
+                source = stub.src_page
+            else:
+                source = self._get_page_for_read(stub.src_cache,
+                                                 stub.src_offset)
+            frame = self._allocate_frame()
+            # The source page may have been evicted by the allocation
+            # above; re-resolve defensively.
+            if stub.src_page is None and source.cache is not stub.src_cache:
+                pass  # source was an ancestor's page: still valid to copy from
+            self.memory.copy_frame(source.frame, frame)
+            self.clock.charge(CostEvent.BCOPY_PAGE)
+            self.clock.charge(CostEvent.COW_STUB_RESOLVE)
+            stub.unthread()
+            page = RealPageDescriptor(cache, offset, frame)
+            page.dirty = True
+            cache.pages[offset] = page
+            cache.owned.add(offset)
+            self.global_map.replace(cache, offset, page)
+            # Readers that mapped the stub's source frame on this cache's
+            # behalf must refault onto the private copy.
+            self.hw.shootdown_served(cache, offset)
+            self._register_page(page)
+            cache.stats.copy_faults += 1
+            self.probe.count("cow.materialized")
         return page
 
     def _stub_source_page(self, stub: CowStub) -> RealPageDescriptor:

@@ -10,6 +10,7 @@ in use, never on the size of segments or address spaces.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -24,6 +25,7 @@ from repro.hardware.physmem import PhysicalMemory
 from repro.hardware.tlb import TLB
 from repro.kernel.clock import CostEvent, VirtualClock
 from repro.kernel.sync import HostSync, NullSync
+from repro.obs import Probe
 from repro.pvm.cache import PvmCache
 from repro.pvm.cacheops import CacheOpsMixin
 from repro.pvm.context import PvmContext
@@ -80,15 +82,23 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                  per_page_threshold: int = 64 * KB,
                  default_provider: Optional[SegmentProvider] = None,
                  reclaim_batch: int = 8,
-                 replacement_policy=None):
+                 replacement_policy=None,
+                 probe: Optional[Probe] = None):
         self.memory = memory or PhysicalMemory(memory_size, page_size)
+        self.clock = clock or VirtualClock()
         if mmu is None:
-            tlb = TLB(tlb_entries) if tlb_entries else None
+            tlb = TLB(tlb_entries, registry=self.clock.registry) \
+                if tlb_entries else None
             mmu = PagedMMU(self.memory.page_size, tlb=tlb)
+        elif getattr(mmu, "tlb", None) is not None:
+            # An externally-built MMU brings its own TLB: adopt its
+            # statistics into the shared registry.
+            mmu.tlb.bind_registry(self.clock.registry)
         if mmu.page_size != self.memory.page_size:
             raise InvalidOperation("MMU and memory disagree on page size")
         self.mmu = mmu
-        self.clock = clock or VirtualClock()
+        self.probe = probe or Probe(registry=self.clock.registry)
+        self.probe.bind_clock(self.clock)
         self.sync_factory = sync or NullSync()
         self.lock = self.sync_factory.lock()
         self.hw = HardwareLayer(self.mmu, self.clock)
@@ -118,6 +128,41 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
     def page_size(self) -> int:
         """Page size in bytes (matches the simulated hardware)."""
         return self.memory.page_size
+
+    @property
+    def registry(self):
+        """The shared metrics registry (clock, TLB, probe, tools)."""
+        return self.clock.registry
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One uniform, JSON-serializable observability document.
+
+        Refreshes the point-in-time gauges (residency, free frames, TLB
+        hit ratio) and returns the registry snapshot wrapped with run
+        metadata — the same shape for every backend, pinned by
+        ``repro.obs.schema.SNAPSHOT_SCHEMA``.
+        """
+        probe = self.probe
+        probe.gauge("mem.resident_pages", self.resident_page_count)
+        probe.gauge("mem.free_frames", self.memory.free_frames)
+        probe.gauge("vm.contexts", len(self._space_contexts))
+        probe.gauge("vm.caches", len(self._caches))
+        tlb = getattr(self.mmu, "tlb", None)
+        if tlb is not None:
+            probe.gauge("tlb.hit_ratio", tlb.hit_rate())
+            probe.gauge("tlb.occupancy", tlb.occupancy)
+        snapshot = probe.registry.snapshot()
+        return {
+            "meta": {
+                "manager": self.name,
+                "virtual_ms": self.clock.now(),
+                "generation": snapshot.pop("generation"),
+                "page_size": self.page_size,
+            },
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+        }
 
     def contexts(self):
         """Live contexts, in creation order."""
@@ -165,8 +210,16 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
 
     def region_create(self, context: PvmContext, address: int, size: int,
                       protection: Protection, cache: PvmCache,
-                      offset: int) -> PvmRegion:
-        """Table 2 regionCreate: map a cache window into a context."""
+                      offset: int, advice: Optional[str] = None) -> PvmRegion:
+        """Table 2 regionCreate: map a cache window into a context.
+
+        *advice* is an optional residency hint: ``"willneed"`` pulls the
+        window's pages resident immediately (the paging equivalent of
+        madvise); ``"sequential"`` / ``"random"`` are recorded on the
+        region for replacement policies to consult.
+        """
+        if advice not in (None, "willneed", "sequential", "random"):
+            raise InvalidOperation(f"unknown region advice {advice!r}")
         with self.lock:
             page = self.page_size
             if address % page or offset % page:
@@ -188,7 +241,12 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             self.clock.charge(CostEvent.REGION_CREATE)
             region = PvmRegion(context, address, size, protection, cache,
                                offset)
+            region.advice = advice
             context._insert_region(region)
+            if advice == "willneed":
+                for page_offset in range(offset, offset + size,
+                                         self.page_size):
+                    self._page_for_explicit_read(cache, page_offset)
             return region
 
     def region_destroy(self, region: PvmRegion) -> None:
@@ -220,6 +278,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             )
             upper.touched = region.touched
             upper.locked = region.locked
+            upper.advice = region.advice
             region.size = offset
             region.context._insert_region(upper)
             return upper
@@ -276,9 +335,17 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
     # Caches (Table 1)
     # ------------------------------------------------------------------
 
-    def cache_create(self, provider: SegmentProvider, segment=None,
+    def cache_create(self, provider: SegmentProvider, *args, segment=None,
                      name: Optional[str] = None,
                      is_history: bool = False) -> PvmCache:
+        if args:
+            warnings.warn(
+                "positional arguments to cache_create beyond the provider "
+                "are deprecated; pass segment=/name=/is_history= as keywords",
+                DeprecationWarning, stacklevel=2)
+            segment = args[0] if len(args) > 0 else segment
+            name = args[1] if len(args) > 1 else name
+            is_history = args[2] if len(args) > 2 else is_history
         with self.lock:
             self.clock.charge(CostEvent.CACHE_CREATE)
             cache = PvmCache(self, self._next_cache_id, provider,

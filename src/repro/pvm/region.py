@@ -36,6 +36,8 @@ class PvmRegion(Region):
         #: set once the first fault lands in the region (Mach's profile
         #: prices the first touch: memory-object initialisation).
         self.touched = False
+        #: optional residency hint ("willneed" | "sequential" | "random").
+        self.advice: Optional[str] = None
 
     # -- helpers -----------------------------------------------------------------
 

@@ -59,6 +59,7 @@ class WritebackDaemon:
         cache = page.cache
         self.vm.clock.charge(CostEvent.PUSH_OUT)
         cache.stats.push_outs += 1
+        self.vm.probe.count("writeback.cleaned")
         cache.provider.push_out(cache, page.offset, self.vm.page_size)
         page.dirty = False
         self._ages.pop(page, None)

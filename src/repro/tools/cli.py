@@ -6,6 +6,7 @@ tables    regenerate Tables 6 and 7 plus the 5.3.2 derived metrics
 loc       print the Table 5 component-size analogue
 figure3   replay the Figure 3 scenarios with live tree rendering
 info      one-paragraph summary of the reproduction and its versions
+obs-dump  run a small workload and emit a JSON metrics snapshot
 """
 
 from __future__ import annotations
@@ -99,11 +100,58 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def cmd_obs_dump(args) -> int:
+    """Exercise every observable mechanism once, dump the registry."""
+    import json
+
+    from repro import (
+        CopyPolicy, MachVirtualMemory, PagedVirtualMemory, Protection,
+        RealTimeVirtualMemory, ZeroFillProvider,
+    )
+    from repro.obs import RingBufferSink
+    from repro.units import MB
+
+    backend = {
+        "pvm": PagedVirtualMemory,
+        "mach": MachVirtualMemory,
+        "minimal": RealTimeVirtualMemory,
+    }[args.backend]
+    vm = backend(memory_size=8 * MB)
+    sink = RingBufferSink(capacity=4096)
+    vm.probe.set_sink(sink)
+    page = vm.page_size
+
+    # Zero-fill faults: map an anonymous segment and touch it.
+    cache = vm.cache_create(ZeroFillProvider(), name="obs.anon")
+    context = vm.context_create("obs")
+    context.region_create(0x40000, 4 * page, protection=Protection.RW,
+                          cache=cache, offset=0)
+    context.switch()
+    for index in range(4):
+        vm.user_write(context, 0x40000 + index * page,
+                      bytes([index + 1]))
+
+    # A deferred copy plus a write: COW machinery and, on the PVM,
+    # history-tree traffic.
+    copy = vm.cache_create(ZeroFillProvider(), name="obs.copy")
+    cache.copy(0, copy, 0, 4 * page, policy=CopyPolicy.HISTORY)
+    vm.user_write(context, 0x40000, b"!")
+    copy.read(0, 8)
+    # Read an offset the copy never owned: resolves up the history
+    # tree, sampling the history.depth histogram.
+    copy.read(page, 8)
+
+    snapshot = vm.metrics_snapshot()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
 COMMANDS = {
     "tables": cmd_tables,
     "loc": cmd_loc,
     "figure3": cmd_figure3,
     "info": cmd_info,
+    "obs-dump": cmd_obs_dump,
 }
 
 
@@ -112,8 +160,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro",
         description="Chorus GMI/PVM reproduction toolbox",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS),
-                        help="what to run")
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="command")
+    for name in ("tables", "loc", "figure3", "info"):
+        subparsers.add_parser(name)
+    obs = subparsers.add_parser(
+        "obs-dump",
+        help="run a small workload, print a JSON metrics snapshot")
+    obs.add_argument("--backend", choices=("pvm", "mach", "minimal"),
+                     default="pvm",
+                     help="memory manager to exercise (default: pvm)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -4,6 +4,11 @@ Answers "who is using real memory?" — resident pages per context, per
 region, with sharing honestly attributed: a frame mapped by several
 contexts counts fully for each (``rss``) and fractionally in
 ``pss``-style shares, like Linux's smaps distinction.
+
+Each report also publishes ``rss.<context>.pages`` /
+``pss.<context>.pages`` gauges into the VM's metrics registry, so
+residency shows up in ``vm.metrics_snapshot()`` next to the fault and
+copy counters.
 """
 
 from __future__ import annotations
@@ -44,6 +49,13 @@ def residency_report(vm) -> List[ContextResidency]:
             regions=regions,
         ))
     reports.sort(key=lambda report: report.rss_pages, reverse=True)
+    registry = getattr(vm, "registry", None)
+    if registry is not None:
+        for report in reports:
+            registry.set_gauge(f"rss.{report.name}.pages",
+                               report.rss_pages)
+            registry.set_gauge(f"pss.{report.name}.pages",
+                               report.pss_pages)
     return reports
 
 

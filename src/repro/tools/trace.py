@@ -1,16 +1,23 @@
-"""Event tracing: a recording wrapper around the virtual clock.
+"""Event tracing: an ordered recording of every clock charge.
 
 Attach an :class:`EventTrace` to any component's clock to capture the
 ordered stream of mechanism events with timestamps — the raw material
 for debugging deferred-copy behaviour and for custom analyses the
 counters alone cannot answer (e.g. "what happened between the copy and
 the first fault?").
+
+Since the observability redesign (``repro.obs``) this no longer
+monkey-patches ``clock.charge``: it subscribes to the clock's charge
+listeners — the same hook the probe uses for per-span event
+attribution — so any number of traces, spans and samplers coexist.
+The public surface (records, filtering, ``between``, ``histogram``,
+``format``) is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.kernel.clock import CostEvent, VirtualClock
 
@@ -40,20 +47,18 @@ class EventTrace:
         self.clock = clock
         self.only = only
         self.records: List[TraceRecord] = []
-        self._original_charge: Callable = clock.charge
-        clock.charge = self._recording_charge
+        clock.add_listener(self._on_charge)
         self._attached = True
 
-    def _recording_charge(self, event: CostEvent, count: int = 1) -> float:
-        if count > 0 and (self.only is None or event in self.only):
-            self.records.append(
-                TraceRecord(self.clock.now(), event, count))
-        return self._original_charge(event, count)
+    def _on_charge(self, time_ms: float, event: CostEvent,
+                   count: int) -> None:
+        if self.only is None or event in self.only:
+            self.records.append(TraceRecord(time_ms, event, count))
 
     def detach(self) -> None:
-        """Stop recording; restore the clock's charge method."""
+        """Stop recording; unsubscribe from the clock."""
         if self._attached:
-            self.clock.charge = self._original_charge
+            self.clock.remove_listener(self._on_charge)
             self._attached = False
 
     def __enter__(self) -> "EventTrace":

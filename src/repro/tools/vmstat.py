@@ -2,6 +2,14 @@
 
 Sample the VM between phases of a workload and print rate tables —
 faults, pull-ins, push-outs, copies — per sampling interval.
+
+Since the observability redesign this reads the manager's shared
+:class:`~repro.obs.metrics.MetricsRegistry` (the same store the clock
+charges into) instead of wrapping the clock itself, and it honours
+resets: when the underlying counters are reset (``clock.reset()`` or
+``registry.reset()``) the registry's *generation* changes and the
+sampler resamples its baseline instead of reporting stale negative
+deltas.
 """
 
 from __future__ import annotations
@@ -35,17 +43,32 @@ class Sample:
 
 
 class VmStat:
-    """Interval sampler over one VM's clock counters."""
+    """Interval sampler over one VM's metrics registry."""
 
     def __init__(self, vm):
         self.vm = vm
+        self.registry = vm.clock.registry
         self.samples: List[Sample] = []
-        self._last_counts = vm.clock.snapshot()
+        self._generation = self.registry.generation
+        self._last_counts = self.registry.counter_values()
         self._last_time = vm.clock.now()
+
+    def _resample_after_reset(self) -> None:
+        """When the counters were reset since the last sample, the old
+        baseline is meaningless: restart from the post-reset zero state."""
+        if self.registry.generation == self._generation:
+            return
+        self._generation = self.registry.generation
+        self._last_counts = {}
+        now = self.vm.clock.now()
+        if now < self._last_time:
+            # The clock was reset too; deltas restart from zero.
+            self._last_time = 0.0
 
     def sample(self, label: str = "") -> Sample:
         """Record the activity since the previous sample."""
-        counts = self.vm.clock.snapshot()
+        self._resample_after_reset()
+        counts = self.registry.counter_values()
         deltas = {
             name: counts.get(event.value, 0)
             - self._last_counts.get(event.value, 0)
@@ -61,6 +84,7 @@ class VmStat:
         self.samples.append(record)
         self._last_counts = counts
         self._last_time = self.vm.clock.now()
+        self._generation = self.registry.generation
         return record
 
     def format(self) -> str:

@@ -1,0 +1,36 @@
+"""The ``obs-dump`` CLI command and its JSON contract."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.schema import SNAPSHOT_SCHEMA, validate
+from repro.tools.cli import main
+
+SCHEMA_FILE = pathlib.Path(__file__).resolve().parents[2] \
+    / "docs" / "obs_snapshot.schema.json"
+
+
+class TestObsDump:
+    @pytest.mark.parametrize("backend", ["pvm", "mach", "minimal"])
+    def test_emits_valid_snapshot(self, capsys, backend):
+        assert main(["obs-dump", "--backend", backend]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        checked_in = json.loads(SCHEMA_FILE.read_text())
+        assert validate(snapshot, checked_in) == []
+        assert snapshot["meta"]["virtual_ms"] >= 0
+        # Every backend reports the workload's zero-fills and copies
+        # through the same counters.
+        assert snapshot["counters"]["bzero_page"] >= 4
+        assert snapshot["counters"]["bcopy_page"] >= 1
+
+    def test_pvm_dump_includes_spans_and_fault_counts(self, capsys):
+        main(["obs-dump"])
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["fault.write"] >= 4
+        assert snapshot["histograms"]["span.fault.resolve.ms"]["count"] >= 4
+
+    def test_checked_in_schema_matches_source(self):
+        assert json.loads(SCHEMA_FILE.read_text()) == json.loads(
+            json.dumps(SNAPSHOT_SCHEMA))
