@@ -23,6 +23,9 @@ COMPONENTS: Dict[str, List[str]] = {
     "Nucleus MM part (gmi + nucleus)": [
         "gmi", "nucleus",
     ],
+    "Fault-resolution engine (backend-agnostic)": [
+        "engine",
+    ],
     "PVM: machine-independent": [
         "pvm/pvm.py", "pvm/history.py", "pvm/pervpage.py", "pvm/fault.py",
         "pvm/pageout.py", "pvm/cacheops.py", "pvm/cache.py",

@@ -1,0 +1,75 @@
+"""The unit of work flowing through the fault-resolution pipeline.
+
+A :class:`FaultTask` is created by the backend's fault entry point
+(one per hardware fault, or per explicitly requested mapping such as
+``region_lock``) and is progressively filled in by the stages:
+
+* ``locate``      sets ``context`` / ``region`` / ``cache`` /
+  ``vaddr`` / ``offset``;
+* ``authorize``   sets ``effective`` (the hardware protection the
+  mapping may at most carry);
+* ``resolve``     sets ``strategy`` (and ``entry`` for stub reads);
+* ``materialize`` sets ``page`` (the real page that will back the
+  translation);
+* ``install``     sets ``prot`` (the protection actually installed,
+  after COW/guard downgrades) and flips ``installed``.
+
+The dataclass deliberately types backend objects as ``Any``: the
+engine is hardware- and backend-agnostic and never inspects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class FaultTask:
+    """One fault (or explicit mapping request) being resolved."""
+
+    #: hardware address-space id the access happened in.
+    space: int
+    #: the faulting virtual address (not page-aligned).
+    address: int
+    #: True for a write access.
+    write: bool
+    #: True when the access executed in supervisor mode.
+    supervisor: bool = True
+    #: True when the hardware reported a protection (not translation)
+    #: violation.
+    protection_violation: bool = False
+    #: the originating hardware fault descriptor; None when the task
+    #: was synthesized (e.g. ``region_lock`` resolving a pinned page).
+    #: Region-level authorization and fault statistics apply only to
+    #: real faults.
+    fault: Optional[Any] = None
+
+    # -- locate ------------------------------------------------------------
+    context: Any = None
+    region: Any = None
+    cache: Any = None
+    #: page-aligned virtual address of the faulting page.
+    vaddr: int = 0
+    #: offset of the faulting page in the region's segment.
+    offset: int = 0
+
+    # -- authorize ---------------------------------------------------------
+    #: hardware protection bits the mapping may at most carry
+    #: (region protection ∩ capability protection).
+    effective: Any = None
+
+    # -- resolve -----------------------------------------------------------
+    #: resolution strategy: "write" | "private" | "stub" | "read".
+    strategy: str = ""
+    #: the global-map entry driving a "stub" resolution.
+    entry: Any = None
+
+    # -- materialize -------------------------------------------------------
+    #: the real page descriptor that will back the translation.
+    page: Any = None
+
+    # -- install -----------------------------------------------------------
+    #: protection actually installed (after COW/guard downgrades).
+    prot: Any = None
+    installed: bool = False

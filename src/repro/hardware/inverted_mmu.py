@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.hardware.mmu import MMU, Mapping
+from repro.errors import InvalidOperation
+from repro.hardware.mmu import MMU, Mapping, Prot
 from repro.kernel.stats import EventCounter
 
 
@@ -56,6 +57,65 @@ class InvertedMMU(MMU):
     def _iter_space(self, space: int) -> Iterator[Tuple[int, Mapping]]:
         for vpn in self._by_space[space]:
             yield vpn, self._entries[(space, vpn)]
+
+    def _space_size(self, space: int) -> int:
+        return len(self._by_space[space])
+
+    # -- batched operations ----------------------------------------------------------
+
+    def map_batch(self, space: int, entries) -> None:
+        """Bulk map: straight hash inserts, one TLB shootdown each."""
+        self._check_space(space)
+        table = self._entries
+        index = self._by_space[space]
+        tlb = self.tlb
+        for vaddr, frame, prot in entries:
+            if prot == Prot.NONE:
+                raise InvalidOperation(
+                    "mapping with no access bits; use unmap")
+            vpn = self.vpn(vaddr)
+            key = (space, vpn)
+            if key not in table:
+                index.add(vpn)
+            table[key] = Mapping(frame, prot)
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+
+    def unmap_batch(self, space: int, vaddrs) -> int:
+        """Bulk unmap: straight hash deletes."""
+        self._check_space(space)
+        table = self._entries
+        index = self._by_space[space]
+        tlb = self.tlb
+        count = 0
+        for vaddr in vaddrs:
+            vpn = self.vpn(vaddr)
+            if table.pop((space, vpn), None) is None:
+                continue
+            index.discard(vpn)
+            count += 1
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+        return count
+
+    def protect_batch(self, space: int, items) -> None:
+        """Bulk protect: one hash probe per entry (same accounting as
+        the single-entry path)."""
+        self._check_space(space)
+        table = self._entries
+        tlb = self.tlb
+        for vaddr, prot in items:
+            vpn = self.vpn(vaddr)
+            key = (space, vpn)
+            self.stats.add("hash_probe")
+            mapping = table.get(key)
+            if mapping is None:
+                raise InvalidOperation(
+                    f"protect: no mapping at {vaddr:#x} in space {space}"
+                )
+            table[key] = Mapping(mapping.frame, prot)
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
 
     # -- introspection -------------------------------------------------------------
 

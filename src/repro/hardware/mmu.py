@@ -142,16 +142,81 @@ class MMU:
         return existed
 
     def unmap_range(self, space: int, vaddr: int, size: int) -> int:
-        """Unmap every page overlapping [vaddr, vaddr+size); return count."""
+        """Unmap every page overlapping [vaddr, vaddr+size); return count.
+
+        When the range dwarfs the resident set the walk flips to the
+        space's own entries, so invalidating a huge sparse window costs
+        work proportional to what is actually mapped.
+        """
+        self._check_space(space)
+        if size <= 0:
+            return 0
+        start_vpn = self.vpn(vaddr)
+        end_vpn = self.vpn(vaddr + size - 1)
+        span = end_vpn - start_vpn + 1
+        resident = self._space_size(space)
+        if resident is not None and resident < span:
+            vpns = sorted(vpn for vpn, _ in self._iter_space(space)
+                          if start_vpn <= vpn <= end_vpn)
+        else:
+            vpns = range(start_vpn, end_vpn + 1)
+        count = 0
+        for vpn in vpns:
+            if self._del_entry(space, vpn):
+                count += 1
+                if self.tlb is not None:
+                    self.tlb.invalidate(space, vpn)
+        return count
+
+    # -- batched operations (the hardware layer's bulk primitives) ------------------
+
+    def map_batch(self, space: int, entries) -> None:
+        """Install many translations at once.
+
+        *entries* iterates (vaddr, frame, prot) triples.  Semantics are
+        those of :meth:`map` per entry; the batch form exists so ports
+        can amortize their per-space storage lookups.
+        """
+        self._check_space(space)
+        for vaddr, frame, prot in entries:
+            if prot == Prot.NONE:
+                raise InvalidOperation(
+                    "mapping with no access bits; use unmap")
+            vpn = self.vpn(vaddr)
+            self._set_entry(space, vpn, Mapping(frame, prot))
+            if self.tlb is not None:
+                self.tlb.invalidate(space, vpn)
+
+    def unmap_batch(self, space: int, vaddrs) -> int:
+        """Remove many translations at once; return how many existed."""
         self._check_space(space)
         count = 0
-        end = vaddr + size
-        addr = vaddr - (vaddr % self.page_size)
-        while addr < end:
-            if self.unmap(space, addr):
+        tlb = self.tlb
+        for vaddr in vaddrs:
+            vpn = self.vpn(vaddr)
+            if self._del_entry(space, vpn):
                 count += 1
-            addr += self.page_size
+                if tlb is not None:
+                    tlb.invalidate(space, vpn)
         return count
+
+    def protect_batch(self, space: int, items) -> None:
+        """Change the protection of many existing translations.
+
+        *items* iterates (vaddr, prot) pairs; like :meth:`protect`,
+        a missing translation is an error.
+        """
+        self._check_space(space)
+        for vaddr, prot in items:
+            vpn = self.vpn(vaddr)
+            mapping = self._entry(space, vpn)
+            if mapping is None:
+                raise InvalidOperation(
+                    f"protect: no mapping at {vaddr:#x} in space {space}"
+                )
+            self._set_entry(space, vpn, Mapping(mapping.frame, prot))
+            if self.tlb is not None:
+                self.tlb.invalidate(space, vpn)
 
     def protect(self, space: int, vaddr: int, prot: Prot) -> None:
         """Change the protection of an existing translation."""
@@ -222,3 +287,9 @@ class MMU:
 
     def _iter_space(self, space: int) -> Iterator[Tuple[int, Mapping]]:
         raise NotImplementedError
+
+    def _space_size(self, space: int) -> Optional[int]:
+        """Resident-translation count of *space*, or None when the
+        port cannot answer cheaply (range operations then walk the
+        address range instead of the entry set)."""
+        return None

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.hardware.mmu import MMU, Mapping
+from repro.errors import InvalidOperation
+from repro.hardware.mmu import MMU, Mapping, Prot
 from repro.kernel.stats import EventCounter
 
 #: Entries per second-level table (10 bits, like a classic two-level MMU).
@@ -75,6 +76,51 @@ class PagedMMU(MMU):
         for hi, table in self._directories[space].items():
             for lo, mapping in table.items():
                 yield (hi << TABLE_BITS) | lo, mapping
+
+    def _space_size(self, space: int) -> int:
+        return sum(len(table) for table in self._directories[space].values())
+
+    # -- batched operations ----------------------------------------------------------
+
+    def map_batch(self, space: int, entries) -> None:
+        """Bulk map: one directory lookup per second-level table."""
+        self._check_space(space)
+        directory = self._directories[space]
+        tlb = self.tlb
+        for vaddr, frame, prot in entries:
+            if prot == Prot.NONE:
+                raise InvalidOperation(
+                    "mapping with no access bits; use unmap")
+            vpn = self.vpn(vaddr)
+            hi, lo = self._split(vpn)
+            table = directory.get(hi)
+            if table is None:
+                table = directory[hi] = {}
+                self.stats.add("table_alloc")
+            table[lo] = Mapping(frame, prot)
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+
+    def unmap_batch(self, space: int, vaddrs) -> int:
+        """Bulk unmap: table lookups amortized, frees emptied tables."""
+        self._check_space(space)
+        directory = self._directories[space]
+        tlb = self.tlb
+        count = 0
+        for vaddr in vaddrs:
+            vpn = self.vpn(vaddr)
+            hi, lo = self._split(vpn)
+            table = directory.get(hi)
+            if table is None or lo not in table:
+                continue
+            del table[lo]
+            if not table:
+                del directory[hi]
+                self.stats.add("table_free")
+            count += 1
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+        return count
 
     # -- introspection -------------------------------------------------------------
 

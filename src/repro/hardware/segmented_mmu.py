@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.errors import PageFault
-from repro.hardware.mmu import MMU, Mapping
+from repro.errors import InvalidOperation, PageFault
+from repro.hardware.mmu import MMU, Mapping, Prot
 from repro.kernel.stats import EventCounter
 
 #: Entries per page table (the 386 used 10+10+12 bits on 4K pages; we
@@ -125,6 +125,58 @@ class SegmentedMMU(MMU):
         for hi, table in self._directories[space].items():
             for lo, mapping in table.items():
                 yield ((hi << TABLE_BITS) | lo) - base_vpn, mapping
+
+    def _space_size(self, space: int) -> int:
+        return sum(len(table) for table in self._directories[space].values())
+
+    # -- batched operations ----------------------------------------------------------
+
+    def map_batch(self, space: int, entries) -> None:
+        """Bulk map: one limit check + relocation per entry, table
+        lookups amortized within the linear directory."""
+        self._check_space(space)
+        descriptor = self._descriptors[space]
+        limit = descriptor.limit
+        directory = self._directories[space]
+        tlb = self.tlb
+        for vaddr, frame, prot in entries:
+            if prot == Prot.NONE:
+                raise InvalidOperation(
+                    "mapping with no access bits; use unmap")
+            vpn = self.vpn(vaddr)
+            if vpn << self._page_shift >= limit:
+                raise InvalidOperation(
+                    f"virtual page {vpn:#x} beyond the segment limit "
+                    f"({limit:#x})"
+                )
+            hi, lo = self._split(self._linear_vpn(space, vpn))
+            table = directory.get(hi)
+            if table is None:
+                table = directory[hi] = {}
+                self.stats.add("table_alloc")
+            table[lo] = Mapping(frame, prot)
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+
+    def unmap_batch(self, space: int, vaddrs) -> int:
+        """Bulk unmap on the linear page tables."""
+        self._check_space(space)
+        directory = self._directories[space]
+        tlb = self.tlb
+        count = 0
+        for vaddr in vaddrs:
+            vpn = self.vpn(vaddr)
+            hi, lo = self._split(self._linear_vpn(space, vpn))
+            table = directory.get(hi)
+            if table is None or lo not in table:
+                continue
+            del table[lo]
+            if not table:
+                del directory[hi]
+            count += 1
+            if tlb is not None:
+                tlb.invalidate(space, vpn)
+        return count
 
     # -- introspection --------------------------------------------------------------
 

@@ -66,16 +66,20 @@ class VmOpsMixin:
                      protection: Protection = Protection.RW):
         """Allocate a fresh (zero-filled, demand-paged) region."""
         actor._check_alive()
-        size = page_ceil(size, self.vm.page_size)
-        cache = self.segment_manager.create_temporary(
-            name=f"{actor.name}.anon")
-        address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection=protection,
-                                             cache=cache, offset=0)
-        self._retain_cache(
-            cache, lambda: self.segment_manager.destroy_temporary(cache))
-        self._record(actor, region, cache)
-        return region
+        with self.vm.probe.span("nucleus.rgn_allocate") as span:
+            size = page_ceil(size, self.vm.page_size)
+            if span:
+                span.set(actor=actor.name, size=size)
+            cache = self.segment_manager.create_temporary(
+                name=f"{actor.name}.anon")
+            address = self._pick_address(actor, address, size)
+            region = actor.context.region_create(address, size,
+                                                 protection=protection,
+                                                 cache=cache, offset=0)
+            self._retain_cache(
+                cache, lambda: self.segment_manager.destroy_temporary(cache))
+            self._record(actor, region, cache)
+            return region
 
     def rgn_map(self, actor, capability: Capability, size: int,
                 address: Optional[int] = None,
@@ -102,20 +106,24 @@ class VmOpsMixin:
                  on_reference: bool = False):
         """Create a region initialised as a (deferred) copy of a segment."""
         actor._check_alive()
-        size = page_ceil(size, self.vm.page_size)
-        source = self.segment_manager.bind(capability)
-        cache = self.segment_manager.create_temporary(
-            name=f"{actor.name}.init")
-        source.copy(offset, cache, 0, size, policy=CopyPolicy.HISTORY,
-                    on_reference=on_reference)
-        self.segment_manager.release(capability)
-        address = self._pick_address(actor, address, size)
-        region = actor.context.region_create(address, size, protection=protection,
-                                             cache=cache, offset=0)
-        self._retain_cache(
-            cache, lambda: self.segment_manager.destroy_temporary(cache))
-        self._record(actor, region, cache)
-        return region
+        with self.vm.probe.span("nucleus.rgn_init") as span:
+            size = page_ceil(size, self.vm.page_size)
+            if span:
+                span.set(actor=actor.name, size=size)
+            source = self.segment_manager.bind(capability)
+            cache = self.segment_manager.create_temporary(
+                name=f"{actor.name}.init")
+            source.copy(offset, cache, 0, size, policy=CopyPolicy.HISTORY,
+                        on_reference=on_reference)
+            self.segment_manager.release(capability)
+            address = self._pick_address(actor, address, size)
+            region = actor.context.region_create(address, size,
+                                                 protection=protection,
+                                                 cache=cache, offset=0)
+            self._retain_cache(
+                cache, lambda: self.segment_manager.destroy_temporary(cache))
+            self._record(actor, region, cache)
+            return region
 
     def rgn_map_from_actor(self, actor, source_actor, source_address: int,
                            address: Optional[int] = None,
@@ -160,13 +168,17 @@ class VmOpsMixin:
     def rgn_free(self, actor, region) -> None:
         """Destroy a region created by the operations above."""
         actor._check_alive()
-        for mapping in list(actor.mappings):
-            if mapping.region is region:
-                actor.mappings.remove(mapping)
-                region.destroy()
-                self._release_cache_ref(mapping.cache)
-                return
-        raise InvalidOperation("region was not created through the Nucleus")
+        with self.vm.probe.span("nucleus.rgn_free") as span:
+            if span:
+                span.set(actor=actor.name, size=region.size)
+            for mapping in list(actor.mappings):
+                if mapping.region is region:
+                    actor.mappings.remove(mapping)
+                    region.destroy()
+                    self._release_cache_ref(mapping.cache)
+                    return
+            raise InvalidOperation(
+                "region was not created through the Nucleus")
 
     def release_actor_mappings(self, actor) -> None:
         """Tear down every Nucleus-created mapping of a dying actor."""

@@ -5,12 +5,13 @@ obs-dump``) emit one JSON document per run; :data:`SNAPSHOT_SCHEMA`
 pins its shape so CI can catch accidental format drift.  The checked-in
 copy lives at ``docs/obs_snapshot.schema.json``; :func:`validate` is a
 minimal JSON-Schema-subset validator (type / required / properties /
-additionalProperties / items / minimum) so the smoke test needs no
-third-party package.
+patternProperties / additionalProperties / items / minimum) so the
+smoke test needs no third-party package.
 """
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 _HISTOGRAM_SUMMARY = {
@@ -44,6 +45,12 @@ SNAPSHOT_SCHEMA = {
         },
         "counters": {
             "type": "object",
+            # The staged fault engine's per-stage counters (one per
+            # executed pipeline stage: locate, authorize, resolve,
+            # materialize, install).
+            "patternProperties": {
+                r"^engine\.stage\.": {"type": "integer", "minimum": 0},
+            },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },
         "gauges": {
@@ -90,11 +97,19 @@ def _validate(instance, schema: dict, path: str, errors: List[str]) -> None:
             if key not in instance:
                 errors.append(f"{path}: missing required key {key!r}")
         properties = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
         extra_schema = schema.get("additionalProperties")
         for key, value in instance.items():
             if key in properties:
                 _validate(value, properties[key], f"{path}.{key}", errors)
-            elif isinstance(extra_schema, dict):
+                continue
+            matched = False
+            for pattern, pattern_schema in patterns.items():
+                if re.search(pattern, key):
+                    matched = True
+                    _validate(value, pattern_schema, f"{path}.{key}",
+                              errors)
+            if not matched and isinstance(extra_schema, dict):
                 _validate(value, extra_schema, f"{path}.{key}", errors)
     elif isinstance(instance, list):
         item_schema = schema.get("items")

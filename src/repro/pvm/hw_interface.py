@@ -8,15 +8,59 @@ code that talks to an :class:`~repro.hardware.mmu.MMU`, and it keeps
 the pmap-style reverse bookkeeping (which (space, vaddr) pairs map
 each real page) needed for shootdowns on eviction, protection changes
 and copy operations.
+
+It is also the machine-independent layer's *only* window onto
+``repro.hardware``: the names re-exported below and the ``build_*``
+factories are everything the PVM proper (and the Mach-style and
+minimal backends built on it) may use.  A tier-1 layer-contract test
+(``tests/test_layer_contract.py``) fails the build if any other module
+under ``repro.pvm`` / ``repro.mach`` / ``repro.minimal`` imports
+``repro.hardware`` directly.
+
+Bulk operations (space teardown, region invalidation, shootdown,
+copy-on-write downgrade) go through the MMU's batch primitives with a
+per-space mapping index, so tearing one space down never scans another
+space's translations — while the virtual-clock charges stay strictly
+per page, keeping the paper's cost accounting intact.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.hardware.mmu import MMU, Prot
+from repro.hardware.bus import MemoryBus
+from repro.hardware.mmu import MMU, FaultRecord, Prot
+from repro.hardware.paged_mmu import PagedMMU
+from repro.hardware.physmem import PhysicalMemory
+from repro.hardware.tlb import TLB
 from repro.kernel.clock import CostEvent, VirtualClock
 from repro.pvm.page import RealPageDescriptor
+
+__all__ = [
+    "MMU", "FaultRecord", "Prot", "PhysicalMemory", "HardwareLayer",
+    "build_physical_memory", "build_mmu", "build_bus",
+]
+
+
+# -- hardware factories (the MI layer never names a concrete port) ----------------
+
+def build_physical_memory(memory_size: int, page_size: int) -> PhysicalMemory:
+    """Construct the simulated physical memory."""
+    return PhysicalMemory(memory_size, page_size)
+
+
+def build_mmu(page_size: int, tlb_entries: Optional[int] = None,
+              registry=None) -> MMU:
+    """Construct the default MMU port (two-level page tables), with an
+    optional TLB bound to the shared metrics registry."""
+    tlb = TLB(tlb_entries, registry=registry) if tlb_entries else None
+    return PagedMMU(page_size, tlb=tlb)
+
+
+def build_bus(memory: PhysicalMemory, mmu: MMU, fault_handler) -> MemoryBus:
+    """Construct the memory bus that retries accesses through
+    *fault_handler*."""
+    return MemoryBus(memory, mmu, fault_handler)
 
 
 class HardwareLayer:
@@ -25,9 +69,10 @@ class HardwareLayer:
     def __init__(self, mmu: MMU, clock: VirtualClock):
         self.mmu = mmu
         self.clock = clock
-        #: reverse map (space, page-aligned vaddr) -> page descriptor, so
-        #: that unmapping an address range can fix page bookkeeping.
-        self._vmap: Dict[Tuple[int, int], RealPageDescriptor] = {}
+        #: per-space reverse map: space -> {page-aligned vaddr -> page
+        #: descriptor}.  Indexed by space so space teardown touches
+        #: exactly its own translations.
+        self._spaces: Dict[int, Dict[int, RealPageDescriptor]] = {}
         #: which (cache_id, offset) each translation *serves*.  A read
         #: mapping may present an ancestor's frame on behalf of a copy
         #: cache; when that cache later gains its own version, every
@@ -48,13 +93,24 @@ class HardwareLayer:
 
     def create_space(self) -> int:
         """Create a hardware address space."""
-        return self.mmu.create_space()
+        space = self.mmu.create_space()
+        self._spaces[space] = {}
+        return space
 
     def destroy_space(self, space: int) -> None:
-        """Unmap everything and destroy the space."""
-        for (entry_space, vaddr) in list(self._vmap):
-            if entry_space == space:
-                self.unmap_page(space, vaddr)
+        """Unmap everything and destroy the space.
+
+        Work is proportional to the space's *own* translations: the
+        per-space index hands over exactly them, the bookkeeping and
+        per-page PAGE_UNMAP charges run locally, and the MMU drops the
+        whole space (one TLB flush) instead of unmapping page by page.
+        """
+        vmap = self._spaces.pop(space, None)
+        if vmap:
+            for vaddr, page in vmap.items():
+                page.mappings.discard((space, vaddr))
+                self._drop_consumer(space, vaddr)
+                self.clock.charge(CostEvent.PAGE_UNMAP)
         self.mmu.destroy_space(space)
 
     # -- mapping maintenance --------------------------------------------------------
@@ -69,12 +125,13 @@ class HardwareLayer:
         be presented on a descendant's behalf.
         """
         vaddr = self._page_vaddr(vaddr)
-        previous = self._vmap.get((space, vaddr))
+        vmap = self._spaces[space]
+        previous = vmap.get(vaddr)
         if previous is not None and previous is not page:
             previous.mappings.discard((space, vaddr))
         self._drop_consumer(space, vaddr)
         self.mmu.map(space, vaddr, page.frame, prot)
-        self._vmap[(space, vaddr)] = page
+        vmap[vaddr] = page
         page.mappings.add((space, vaddr))
         if consumer is None:
             consumer = (page.cache.cache_id, page.offset)
@@ -91,10 +148,23 @@ class HardwareLayer:
                 if not entries:
                     del self._consumers[key]
 
+    def _forget_mapping(self, space: int, vaddr: int) -> bool:
+        """Bookkeeping half of an unmap: reverse maps, consumers and
+        the per-page PAGE_UNMAP charge — but no MMU call.  Returns True
+        when a translation was tracked (the caller owes the MMU a
+        matching unmap)."""
+        page = self._spaces[space].pop(vaddr, None)
+        if page is None:
+            return False
+        page.mappings.discard((space, vaddr))
+        self._drop_consumer(space, vaddr)
+        self.clock.charge(CostEvent.PAGE_UNMAP)
+        return True
+
     def unmap_page(self, space: int, vaddr: int) -> bool:
         """Drop one translation; True when one existed."""
         vaddr = self._page_vaddr(vaddr)
-        page = self._vmap.pop((space, vaddr), None)
+        page = self._spaces[space].pop(vaddr, None)
         if page is not None:
             page.mappings.discard((space, vaddr))
         self._drop_consumer(space, vaddr)
@@ -103,16 +173,25 @@ class HardwareLayer:
             self.clock.charge(CostEvent.PAGE_UNMAP)
         return existed
 
+    def _unmap_grouped(self, mappings: Iterable[Tuple[int, int]]) -> int:
+        """Unmap a set of (space, vaddr) translations, batched per
+        space.  Bookkeeping and PAGE_UNMAP charges stay per page; the
+        MMU sees one ``unmap_batch`` per space."""
+        by_space: Dict[int, List[int]] = {}
+        for space, vaddr in mappings:
+            if self._forget_mapping(space, vaddr):
+                by_space.setdefault(space, []).append(vaddr)
+        count = 0
+        for space, vaddrs in by_space.items():
+            count += self.mmu.unmap_batch(space, vaddrs)
+        return count
+
     def shootdown_served(self, cache, offset: int) -> int:
         """Unmap every translation serving (cache, offset), whatever
         frame backs it.  Called when the cache gains its own version of
         the page and ancestor-frame read mappings would go stale."""
-        count = 0
-        for space, vaddr in list(self._consumers.get(
-                (cache.cache_id, offset), ())):
-            self.unmap_page(space, vaddr)
-            count += 1
-        return count
+        return self._unmap_grouped(
+            list(self._consumers.get((cache.cache_id, offset), ())))
 
     def unmap_range(self, space: int, vaddr: int, size: int) -> int:
         """Drop all translations overlapping [vaddr, vaddr+size).
@@ -120,16 +199,24 @@ class HardwareLayer:
         Charges one REGION_INVALIDATE_PAGE per *virtual* page in the
         range — invalidating a region costs work proportional to its
         size even when nothing is resident (section 5.3.2's observed
-        create/destroy scaling).
+        create/destroy scaling) — and one PAGE_UNMAP per translation
+        actually dropped, in the same per-page interleaving as the
+        single-page path.  The MMU, by contrast, sees one batch call
+        for the whole range.
         """
         count = 0
         end = vaddr + size
         addr = self._page_vaddr(vaddr)
+        victims: List[int] = []
+        charge = self.clock.charge
         while addr < end:
-            if self.unmap_page(space, addr):
+            if self._forget_mapping(space, addr):
+                victims.append(addr)
                 count += 1
-            self.clock.charge(CostEvent.REGION_INVALIDATE_PAGE)
+            charge(CostEvent.REGION_INVALIDATE_PAGE)
             addr += self.page_size
+        if victims:
+            self.mmu.unmap_batch(space, victims)
         return count
 
     def protect_mapping(self, space: int, vaddr: int, prot: Prot) -> None:
@@ -138,26 +225,28 @@ class HardwareLayer:
 
     def mapping_of(self, space: int, vaddr: int) -> Optional[RealPageDescriptor]:
         """Page currently translated at (space, vaddr), if any."""
-        return self._vmap.get((space, self._page_vaddr(vaddr)))
+        vmap = self._spaces.get(space)
+        if vmap is None:
+            return None
+        return vmap.get(self._page_vaddr(vaddr))
 
     # -- page-centric operations ------------------------------------------------------
 
     def shootdown(self, page: RealPageDescriptor) -> int:
         """Remove every translation of *page* (eviction, move)."""
-        count = 0
-        for space, vaddr in list(page.mappings):
-            self.unmap_page(space, vaddr)
-            count += 1
-        return count
+        return self._unmap_grouped(list(page.mappings))
 
     def downgrade_page(self, page: RealPageDescriptor, prot: Prot = Prot.READ) -> None:
         """Set every translation of *page* to *prot* (typically
         read-only, when the page becomes a deferred-copy source).
 
         Charges one PAGE_PROTECT for the page, matching the paper's
-        per-page protection accounting.
+        per-page protection accounting; the MMU sees one protect batch
+        per space that maps the page.
         """
-        for space, vaddr in list(page.mappings):
-            self.protect_mapping(space, vaddr, prot)
+        by_space: Dict[int, List[Tuple[int, Prot]]] = {}
+        for space, vaddr in page.mappings:
+            by_space.setdefault(space, []).append((vaddr, prot))
+        for space, items in by_space.items():
+            self.mmu.protect_batch(space, items)
         self.clock.charge(CostEvent.PAGE_PROTECT)
-

@@ -14,15 +14,11 @@ import warnings
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.engine import FaultPipeline
 from repro.errors import InvalidOperation, StaleObject
 from repro.gmi.interface import MemoryManager
 from repro.gmi.types import Protection
 from repro.gmi.upcalls import SegmentProvider, ZeroFillProvider
-from repro.hardware.bus import MemoryBus
-from repro.hardware.mmu import MMU
-from repro.hardware.paged_mmu import PagedMMU
-from repro.hardware.physmem import PhysicalMemory
-from repro.hardware.tlb import TLB
 from repro.kernel.clock import CostEvent, VirtualClock
 from repro.kernel.sync import HostSync, NullSync
 from repro.obs import Probe
@@ -32,7 +28,10 @@ from repro.pvm.context import PvmContext
 from repro.pvm.fault import FaultMixin
 from repro.pvm.global_map import GlobalMap
 from repro.pvm.history import HistoryMixin
-from repro.pvm.hw_interface import HardwareLayer
+from repro.pvm.hw_interface import (
+    MMU, HardwareLayer, PhysicalMemory, build_bus, build_mmu,
+    build_physical_memory,
+)
 from repro.pvm.pageout import PageoutMixin
 from repro.pvm.pervpage import PerPageMixin
 from repro.pvm.region import PvmRegion
@@ -84,12 +83,11 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                  reclaim_batch: int = 8,
                  replacement_policy=None,
                  probe: Optional[Probe] = None):
-        self.memory = memory or PhysicalMemory(memory_size, page_size)
+        self.memory = memory or build_physical_memory(memory_size, page_size)
         self.clock = clock or VirtualClock()
         if mmu is None:
-            tlb = TLB(tlb_entries, registry=self.clock.registry) \
-                if tlb_entries else None
-            mmu = PagedMMU(self.memory.page_size, tlb=tlb)
+            mmu = build_mmu(self.memory.page_size, tlb_entries,
+                            registry=self.clock.registry)
         elif getattr(mmu, "tlb", None) is not None:
             # An externally-built MMU brings its own TLB: adopt its
             # statistics into the shared registry.
@@ -102,7 +100,10 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         self.sync_factory = sync or NullSync()
         self.lock = self.sync_factory.lock()
         self.hw = HardwareLayer(self.mmu, self.clock)
-        self.bus = MemoryBus(self.memory, self.mmu, self.handle_fault)
+        self.bus = build_bus(self.memory, self.mmu, self.handle_fault)
+        #: the shared staged fault-resolution pipeline (repro.engine);
+        #: all three backends resolve faults through it.
+        self.engine = FaultPipeline(self)
         self.global_map = GlobalMap(self.memory.page_size)
         self.default_provider = default_provider or ZeroFillProvider()
         self.per_page_threshold = per_page_threshold

@@ -1,0 +1,123 @@
+"""Layer-contract checker: enforce the import rules of the layer stack.
+
+The reproduction's layering (docs/ARCHITECTURE.md) is::
+
+    repro.engine                 backend-agnostic fault pipeline
+    repro.pvm / mach / minimal   memory managers (MI layer)
+    repro.pvm.hw_interface       machine-dependent layer
+    repro.hardware               MMU ports, TLB, bus, physical memory
+
+Two rules keep the stack honest — the same discipline the paper's
+"hardware-independent interface" (section 4) imposes on the real PVM:
+
+1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
+   ``repro.mach`` and ``repro.minimal`` may import ``repro.hardware``
+   only from the single machine-dependent module
+   ``repro.pvm.hw_interface`` — everything else goes through its
+   re-exports and factories.
+2. **The engine floats above everything.**  ``repro.engine`` imports
+   neither ``repro.hardware`` nor any backend package.
+
+The check is static (``ast`` on the source tree, no imports executed)
+so a violation is caught even in modules no test happens to load.
+Run as a script (``python -m repro.tools.check_layers``) or through
+``tests/test_layer_contract.py`` (tier 1).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import List, Optional, Tuple
+
+#: packages whose modules must not touch repro.hardware directly.
+BACKEND_PACKAGES = ("repro.pvm", "repro.mach", "repro.minimal")
+
+#: the one module allowed to import repro.hardware on their behalf.
+HARDWARE_GATE = "repro.pvm.hw_interface"
+
+#: prefixes the engine must never import.
+ENGINE_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
+
+
+def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
+    relative = path.relative_to(src_root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _imported_modules(tree: ast.AST, module: str) -> List[str]:
+    """Absolute module names imported anywhere in *tree*."""
+    found: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Resolve a relative import against this module's package.
+                package = module.split(".")
+                package = package[: len(package) - node.level]
+                base = ".".join(package)
+                name = f"{base}.{node.module}" if node.module else base
+            else:
+                name = node.module or ""
+            if name:
+                found.append(name)
+    return found
+
+
+def _under(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def check_layers(src_root) -> List[Tuple[str, str, str]]:
+    """Scan the tree under *src_root* (the directory holding ``repro``).
+
+    Returns violations as (module, imported, rule) triples; an empty
+    list means the contract holds.
+    """
+    src_root = pathlib.Path(src_root)
+    violations: List[Tuple[str, str, str]] = []
+    for path in sorted(src_root.glob("repro/**/*.py")):
+        module = _module_name(path, src_root)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        imports = _imported_modules(tree, module)
+        if any(_under(module, pkg) for pkg in BACKEND_PACKAGES) \
+                and module != HARDWARE_GATE:
+            for imported in imports:
+                if _under(imported, "repro.hardware"):
+                    violations.append((
+                        module, imported,
+                        "backends must reach repro.hardware only "
+                        f"through {HARDWARE_GATE}",
+                    ))
+        if _under(module, "repro.engine"):
+            for imported in imports:
+                if any(_under(imported, banned)
+                       for banned in ENGINE_FORBIDDEN):
+                    violations.append((
+                        module, imported,
+                        "repro.engine must not import backends or "
+                        "hardware",
+                    ))
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    src_root = pathlib.Path(argv[0]) if argv \
+        else pathlib.Path(__file__).resolve().parents[2]
+    violations = check_layers(src_root)
+    if violations:
+        for module, imported, rule in violations:
+            print(f"LAYER VIOLATION: {module} imports {imported} ({rule})")
+        return 1
+    print(f"layer contract holds under {src_root}")
+    return 0
+
+
+if __name__ == "__main__":                      # pragma: no cover
+    sys.exit(main())

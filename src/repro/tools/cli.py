@@ -7,6 +7,7 @@ loc       print the Table 5 component-size analogue
 figure3   replay the Figure 3 scenarios with live tree rendering
 info      one-paragraph summary of the reproduction and its versions
 obs-dump  run a small workload and emit a JSON metrics snapshot
+layers    verify the layer contract (docs/ARCHITECTURE.md import rules)
 """
 
 from __future__ import annotations
@@ -146,12 +147,25 @@ def cmd_obs_dump(args) -> int:
     return 0
 
 
+def cmd_layers(_args) -> int:
+    """Check the import rules of the layer stack (engine / backends /
+    hardware layer / MMU ports)."""
+    import pathlib
+
+    import repro
+    from repro.tools.check_layers import main as check_main
+
+    src_root = pathlib.Path(repro.__file__).resolve().parents[1]
+    return check_main([str(src_root)])
+
+
 COMMANDS = {
     "tables": cmd_tables,
     "loc": cmd_loc,
     "figure3": cmd_figure3,
     "info": cmd_info,
     "obs-dump": cmd_obs_dump,
+    "layers": cmd_layers,
 }
 
 
@@ -162,7 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
-    for name in ("tables", "loc", "figure3", "info"):
+    for name in ("tables", "loc", "figure3", "info", "layers"):
         subparsers.add_parser(name)
     obs = subparsers.add_parser(
         "obs-dump",

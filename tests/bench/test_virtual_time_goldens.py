@@ -1,0 +1,76 @@
+"""Golden-file lock on the Table 6/7 virtual times.
+
+The virtual clock accumulates floating-point costs event by event, so
+its totals are sensitive to the *order and grouping* of charges — not
+just their counts.  That makes the full grids a fingerprint of the
+mechanism event stream: any refactor that reorders charges, merges
+per-page charges into bulk ones, or drops/duplicates an event moves
+some cell.  The goldens were captured from the pre-engine fault path
+(tests/goldens/virtual_time_tables.json); the staged pipeline and the
+batched hardware layer must reproduce every cell **bit-identically**
+(``==`` on the floats, no tolerance).
+
+If a deliberate cost-model or mechanism change moves these numbers,
+regenerate the file with the snippet in its own docstring below and
+say so in the commit message.
+
+Regeneration::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.bench.experiments import cow_table, zero_fill_table
+    grids = {}
+    for system in ("chorus", "mach"):
+        grids[f"table6_{system}"] = {f"{kb},{p}": v for (kb, p), v
+                                     in zero_fill_table(system).items()}
+        grids[f"table7_{system}"] = {f"{kb},{p}": v for (kb, p), v
+                                     in cow_table(system).items()}
+    with open("tests/goldens/virtual_time_tables.json", "w") as fh:
+        json.dump(grids, fh, indent=2, sort_keys=True)
+    EOF
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import (
+    cow_table, run_cow_cell, run_zero_fill_cell, zero_fill_table,
+)
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parents[1]
+               / "goldens" / "virtual_time_tables.json")
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+TABLE_RUNNERS = {
+    "table6": run_zero_fill_cell,
+    "table7": run_cow_cell,
+}
+
+
+def _cells():
+    for table, cells in sorted(GOLDENS.items()):
+        prefix, system = table.split("_")
+        for key, value in sorted(cells.items()):
+            region_kb, pages = (int(part) for part in key.split(","))
+            yield pytest.param(prefix, system, region_kb, pages, value,
+                               id=f"{table}-{key}")
+
+
+@pytest.mark.parametrize(
+    ("prefix", "system", "region_kb", "pages", "expected"), list(_cells()))
+def test_cell_bit_identical(prefix, system, region_kb, pages, expected):
+    measured = TABLE_RUNNERS[prefix](system, region_kb, pages)
+    # Exact equality on purpose: see the module docstring.
+    assert measured == expected
+
+
+def test_goldens_cover_the_full_grids():
+    """The golden file must not silently go stale against the grid
+    definition (new sizes/touch counts need a regeneration)."""
+    for system in ("chorus", "mach"):
+        live6 = {f"{kb},{p}" for kb, p in zero_fill_table(system)}
+        live7 = {f"{kb},{p}" for kb, p in cow_table(system)}
+        assert set(GOLDENS[f"table6_{system}"]) == live6
+        assert set(GOLDENS[f"table7_{system}"]) == live7

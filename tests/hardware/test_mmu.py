@@ -196,3 +196,99 @@ class TestPortSpecifics:
         mmu.map(space, 0, 0, Prot.RW)
         mmu.translate(space, 0, write=False)
         assert mmu.stats.get("descriptor_check") > 0
+
+
+class TestBatchOps:
+    """Bulk primitives the hardware layer builds on: semantics must
+    match the single-entry operations exactly, port by port."""
+
+    def test_map_batch_matches_singles(self, mmu):
+        batched = mmu.create_space()
+        single = mmu.create_space()
+        entries = [(index * PAGE, index + 1, Prot.RW) for index in range(6)]
+        mmu.map_batch(batched, entries)
+        for vaddr, frame, prot in entries:
+            mmu.map(single, vaddr, frame, prot)
+        for vaddr, frame, _ in entries:
+            assert mmu.translate(batched, vaddr + 9, write=True) == \
+                mmu.translate(single, vaddr + 9, write=True)
+
+    def test_map_batch_rejects_none_protection(self, mmu):
+        space = mmu.create_space()
+        with pytest.raises(InvalidOperation):
+            mmu.map_batch(space, [(0, 0, Prot.RW), (PAGE, 1, Prot.NONE)])
+
+    def test_unmap_batch_counts_only_existing(self, mmu):
+        space = mmu.create_space()
+        mmu.map(space, 0, 0, Prot.RW)
+        mmu.map(space, 2 * PAGE, 1, Prot.RW)
+        dropped = mmu.unmap_batch(space, [0, PAGE, 2 * PAGE, 3 * PAGE])
+        assert dropped == 2
+        assert mmu.mapped_pages(space) == []
+
+    def test_protect_batch_applies_to_every_entry(self, mmu):
+        space = mmu.create_space()
+        mmu.map(space, 0, 0, Prot.RW)
+        mmu.map(space, PAGE, 1, Prot.RW)
+        mmu.protect_batch(space, [(0, Prot.READ), (PAGE, Prot.READ)])
+        for vaddr in (0, PAGE):
+            with pytest.raises(ProtectionViolation):
+                mmu.translate(space, vaddr, write=True)
+            mmu.translate(space, vaddr, write=False)
+
+    def test_protect_batch_missing_mapping_is_an_error(self, mmu):
+        space = mmu.create_space()
+        mmu.map(space, 0, 0, Prot.RW)
+        with pytest.raises(InvalidOperation):
+            mmu.protect_batch(space, [(0, Prot.READ), (PAGE, Prot.READ)])
+
+    def test_batches_check_the_space(self, mmu):
+        with pytest.raises(InvalidOperation):
+            mmu.map_batch(999, [(0, 0, Prot.RW)])
+        with pytest.raises(InvalidOperation):
+            mmu.unmap_batch(999, [0])
+        with pytest.raises(InvalidOperation):
+            mmu.protect_batch(999, [(0, Prot.READ)])
+
+    def test_space_size_hint_tracks_residency(self, mmu):
+        space = mmu.create_space()
+        assert mmu._space_size(space) in (0, None)
+        mmu.map_batch(space, [(index * PAGE, index, Prot.RW)
+                              for index in range(4)])
+        size = mmu._space_size(space)
+        if size is not None:
+            assert size == 4
+        mmu.unmap_batch(space, [0, PAGE])
+        size = mmu._space_size(space)
+        if size is not None:
+            assert size == 2
+
+    def test_unmap_range_on_huge_sparse_window(self, mmu):
+        """A giant sparse invalidation walks the resident set, not the
+        whole window, and still removes exactly the right pages."""
+        space = mmu.create_space()
+        far = 1 << 30
+        mmu.map(space, 0, 0, Prot.RW)
+        mmu.map(space, far, 1, Prot.RW)
+        mmu.map(space, far + 3 * PAGE, 2, Prot.RW)
+        dropped = mmu.unmap_range(space, 0, far + PAGE)
+        assert dropped == 2
+        assert [vpn for vpn, _ in mmu.mapped_pages(space)] == \
+            [(far + 3 * PAGE) // PAGE]
+
+    def test_batch_unmap_invalidates_the_tlb(self):
+        from repro.hardware.tlb import TLB
+        mmu = PagedMMU(page_size=PAGE, tlb=TLB(16))
+        space = mmu.create_space()
+        mmu.map(space, 0, 7, Prot.RW)
+        mmu.translate(space, 0, write=False)      # prime the TLB
+        mmu.unmap_batch(space, [0])
+        with pytest.raises(PageFault):
+            mmu.translate(space, 0, write=False)
+
+    def test_segmented_map_batch_enforces_the_limit(self):
+        mmu = SegmentedMMU(page_size=PAGE)
+        space = mmu.create_space()
+        mmu.set_segment_limit(space, 2 * PAGE)
+        with pytest.raises(InvalidOperation):
+            mmu.map_batch(space, [(0, 0, Prot.RW), (2 * PAGE, 1, Prot.RW)])

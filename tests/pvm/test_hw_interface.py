@@ -1,0 +1,258 @@
+"""The machine-dependent hardware layer: per-space indexing, batched
+MMU traffic, and consumer-tracked shootdowns.
+
+These tests drive :class:`~repro.pvm.hw_interface.HardwareLayer`
+directly against a counting MMU, pinning three properties:
+
+* space teardown and range invalidation are batched at the MMU (one
+  port call, not one per page) and scale with the space's *own*
+  mappings, never with the total across spaces;
+* virtual-clock charges stay strictly per page — the batching is a
+  wall-time optimization, invisible to the cost model;
+* consumer tracking (which (cache, offset) a translation *serves*)
+  survives remaps without leaking stale entries.
+"""
+
+import pytest
+
+from repro.hardware.paged_mmu import PagedMMU
+from repro.kernel.clock import CostEvent, VirtualClock
+from repro.pvm.hw_interface import HardwareLayer, Prot
+from repro.pvm.page import RealPageDescriptor
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class CountingMMU(PagedMMU):
+    """PagedMMU that tallies every mapping-maintenance entry point."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = {"unmap": 0, "unmap_batch": 0, "protect": 0,
+                      "protect_batch": 0, "destroy_space": 0,
+                      "del_entry": 0}
+
+    def unmap(self, space, vaddr):
+        self.calls["unmap"] += 1
+        return super().unmap(space, vaddr)
+
+    def unmap_batch(self, space, vaddrs):
+        self.calls["unmap_batch"] += 1
+        return super().unmap_batch(space, vaddrs)
+
+    def protect(self, space, vaddr, prot):
+        self.calls["protect"] += 1
+        super().protect(space, vaddr, prot)
+
+    def protect_batch(self, space, items):
+        self.calls["protect_batch"] += 1
+        super().protect_batch(space, items)
+
+    def destroy_space(self, space):
+        self.calls["destroy_space"] += 1
+        super().destroy_space(space)
+
+    def _del_entry(self, space, vpn):
+        self.calls["del_entry"] += 1
+        return super()._del_entry(space, vpn)
+
+
+class FakeCache:
+    """Just enough cache identity for the hardware layer."""
+
+    def __init__(self, cache_id):
+        self.cache_id = cache_id
+        self.name = f"cache{cache_id}"
+
+
+@pytest.fixture
+def hw():
+    clock = VirtualClock()
+    return HardwareLayer(CountingMMU(PAGE), clock)
+
+
+def make_page(cache, offset, frame):
+    return RealPageDescriptor(cache, offset, frame)
+
+
+class TestDestroySpace:
+    def test_work_scales_with_own_mappings_not_total(self, hw):
+        """Regression: teardown of one space among many must not scan
+        (or unmap) the other spaces' translations."""
+        cache = FakeCache(1)
+        spaces = []
+        for index in range(50):
+            space = hw.create_space()
+            page = make_page(cache, index * PAGE, index)
+            hw.map_page(space, 0x40000, page, Prot.RW)
+            spaces.append((space, page))
+        victim_space, victim_page = spaces[25]
+
+        before = dict(hw.mmu.calls)
+        unmaps_before = hw.clock.count(CostEvent.PAGE_UNMAP)
+        hw.destroy_space(victim_space)
+
+        # One port-level space drop; zero per-page unmaps or entry
+        # deletions — the other 49 spaces were never touched.
+        assert hw.mmu.calls["destroy_space"] == before["destroy_space"] + 1
+        assert hw.mmu.calls["unmap"] == before["unmap"]
+        assert hw.mmu.calls["unmap_batch"] == before["unmap_batch"]
+        assert hw.mmu.calls["del_entry"] == before["del_entry"]
+        # The per-page cost accounting is unchanged: one PAGE_UNMAP
+        # per translation the space actually held.
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == unmaps_before + 1
+        assert not victim_page.mappings
+        for space, page in spaces:
+            if space == victim_space:
+                continue
+            assert hw.mapping_of(space, 0x40000) is page
+
+    def test_charges_one_page_unmap_per_own_translation(self, hw):
+        cache = FakeCache(1)
+        space = hw.create_space()
+        for index in range(7):
+            page = make_page(cache, index * PAGE, index)
+            hw.map_page(space, 0x40000 + index * PAGE, page, Prot.RW)
+        hw.destroy_space(space)
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == 7
+
+    def test_empty_space_destroy_is_clean(self, hw):
+        space = hw.create_space()
+        hw.destroy_space(space)
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == 0
+        assert not hw.mmu.space_exists(space)
+
+
+class TestUnmapRangeCharges:
+    def test_per_virtual_page_and_per_resident_page_charges(self, hw):
+        """Charge semantics of the batched path: REGION_INVALIDATE_PAGE
+        per virtual page in the range, PAGE_UNMAP per translation
+        dropped — exactly what the per-page loop charged."""
+        cache = FakeCache(1)
+        space = hw.create_space()
+        resident = (0, 3, 9)                      # 3 of 16 pages mapped
+        for index in resident:
+            page = make_page(cache, index * PAGE, index)
+            hw.map_page(space, 0x40000 + index * PAGE, page, Prot.RW)
+        maps = hw.clock.count(CostEvent.PAGE_MAP)
+
+        dropped = hw.unmap_range(space, 0x40000, 16 * PAGE)
+
+        assert dropped == len(resident)
+        assert hw.clock.count(CostEvent.REGION_INVALIDATE_PAGE) == 16
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == len(resident)
+        assert hw.clock.count(CostEvent.PAGE_MAP) == maps
+        # The MMU saw one batch call for the whole range.
+        assert hw.mmu.calls["unmap_batch"] == 1
+        assert hw.mmu.calls["unmap"] == 0
+
+    def test_fully_unmapped_range_still_charges_invalidation(self, hw):
+        space = hw.create_space()
+        assert hw.unmap_range(space, 0x40000, 8 * PAGE) == 0
+        assert hw.clock.count(CostEvent.REGION_INVALIDATE_PAGE) == 8
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == 0
+        # Nothing resident: no MMU batch needed at all.
+        assert hw.mmu.calls["unmap_batch"] == 0
+
+
+class TestConsumerTracking:
+    def test_shootdown_served_across_spaces(self, hw):
+        """An ancestor frame presented to one (cache, offset) from
+        several address spaces: gaining a private version must shoot
+        down every serving translation, wherever it lives."""
+        ancestor = FakeCache(1)
+        child = FakeCache(2)
+        page = make_page(ancestor, 0, 0)          # the shared frame
+        space_a = hw.create_space()
+        space_b = hw.create_space()
+        hw.map_page(space_a, 0x40000, page, Prot.READ,
+                    consumer=(child.cache_id, 0))
+        hw.map_page(space_b, 0x80000, page, Prot.READ,
+                    consumer=(child.cache_id, 0))
+
+        served = hw.shootdown_served(child, 0)
+
+        assert served == 2
+        assert hw.mapping_of(space_a, 0x40000) is None
+        assert hw.mapping_of(space_b, 0x80000) is None
+        assert not page.mappings
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == 2
+        # Grouped per space: two spaces, two batch calls, no singles.
+        assert hw.mmu.calls["unmap_batch"] == 2
+        assert hw.mmu.calls["unmap"] == 0
+
+    def test_shootdown_served_ignores_other_offsets(self, hw):
+        child = FakeCache(2)
+        page = make_page(FakeCache(1), 0, 0)
+        space = hw.create_space()
+        hw.map_page(space, 0x40000, page, Prot.READ,
+                    consumer=(child.cache_id, 0))
+        assert hw.shootdown_served(child, PAGE) == 0
+        assert hw.mapping_of(space, 0x40000) is page
+
+    def test_remap_clears_stale_consumer(self, hw):
+        """Remapping a virtual page to serve a different (cache,
+        offset) must unregister the old consumer: a later shootdown of
+        the old identity must not kill the new translation."""
+        old = FakeCache(1)
+        new = FakeCache(2)
+        space = hw.create_space()
+        old_page = make_page(old, 0, 0)
+        new_page = make_page(new, 0, 1)
+        hw.map_page(space, 0x40000, old_page, Prot.READ,
+                    consumer=(old.cache_id, 0))
+        hw.map_page(space, 0x40000, new_page, Prot.RW,
+                    consumer=(new.cache_id, 0))
+
+        assert hw.shootdown_served(old, 0) == 0
+        assert hw.mapping_of(space, 0x40000) is new_page
+        assert (space, 0x40000) not in old_page.mappings
+        assert hw.shootdown_served(new, 0) == 1
+        assert hw.mapping_of(space, 0x40000) is None
+
+    def test_unmap_page_unregisters_consumer(self, hw):
+        child = FakeCache(2)
+        page = make_page(FakeCache(1), 0, 0)
+        space = hw.create_space()
+        hw.map_page(space, 0x40000, page, Prot.READ,
+                    consumer=(child.cache_id, 0))
+        assert hw.unmap_page(space, 0x40000)
+        assert hw.shootdown_served(child, 0) == 0
+        assert not hw._consumers
+        assert not hw._consumer_of
+
+
+class TestPageCentricBatches:
+    def test_shootdown_batches_per_space(self, hw):
+        cache = FakeCache(1)
+        page = make_page(cache, 0, 0)
+        space_a = hw.create_space()
+        space_b = hw.create_space()
+        hw.map_page(space_a, 0x40000, page, Prot.RW)
+        hw.map_page(space_a, 0x42000, page, Prot.RW)
+        hw.map_page(space_b, 0x40000, page, Prot.RW)
+
+        assert hw.shootdown(page) == 3
+        assert not page.mappings
+        assert hw.clock.count(CostEvent.PAGE_UNMAP) == 3
+        assert hw.mmu.calls["unmap_batch"] == 2   # one per space
+        assert hw.mmu.calls["unmap"] == 0
+
+    def test_downgrade_page_batches_and_charges_once(self, hw):
+        cache = FakeCache(1)
+        page = make_page(cache, 0, 0)
+        space_a = hw.create_space()
+        space_b = hw.create_space()
+        hw.map_page(space_a, 0x40000, page, Prot.RW)
+        hw.map_page(space_b, 0x40000, page, Prot.RW)
+
+        hw.downgrade_page(page)
+
+        for space in (space_a, space_b):
+            mapping = hw.mmu.lookup(space, 0x40000)
+            assert mapping.prot == Prot.READ
+        # Per-page accounting: one PAGE_PROTECT for the whole page.
+        assert hw.clock.count(CostEvent.PAGE_PROTECT) == 1
+        assert hw.mmu.calls["protect_batch"] == 2
+        assert hw.mmu.calls["protect"] == 0

@@ -1,0 +1,83 @@
+"""The layer contract (docs/ARCHITECTURE.md), enforced statically.
+
+Backends (repro.pvm / repro.mach / repro.minimal) may import
+repro.hardware only through repro.pvm.hw_interface, and repro.engine
+imports neither hardware nor any backend.  The checker must both pass
+on the real tree and demonstrably fail on a deliberately-introduced
+violation — a green light from a checker that can't turn red proves
+nothing.
+"""
+
+import pathlib
+
+import repro
+from repro.tools.check_layers import check_layers, main
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parents[1]
+
+
+def _make_tree(tmp_path, files):
+    for relpath, source in files.items():
+        path = tmp_path / "repro" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.relative_to(tmp_path).parents:
+            init = tmp_path / parent / "__init__.py"
+            if parent.parts and not init.exists():
+                init.write_text("")
+        path.write_text(source)
+    return tmp_path
+
+
+class TestRealTree:
+    def test_contract_holds(self):
+        assert check_layers(SRC_ROOT) == []
+
+    def test_cli_entry_point_passes(self, capsys):
+        assert main([str(SRC_ROOT)]) == 0
+        assert "layer contract holds" in capsys.readouterr().out
+
+
+class TestDetectsViolations:
+    def test_backend_importing_hardware_directly_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "pvm/sneaky.py": "from repro.hardware.mmu import MMU\n",
+        })
+        violations = check_layers(tmp_path)
+        assert [(m, i) for m, i, _ in violations] == \
+            [("repro.pvm.sneaky", "repro.hardware.mmu")]
+
+    def test_hw_interface_itself_is_exempt(self, tmp_path):
+        _make_tree(tmp_path, {
+            "pvm/hw_interface.py": "from repro.hardware.mmu import MMU\n",
+        })
+        assert check_layers(tmp_path) == []
+
+    def test_engine_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "engine/cheat.py": "import repro.pvm.pvm\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.engine.cheat"
+
+    def test_engine_importing_hardware_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "engine/cheat.py": "from repro.hardware import tlb\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_relative_imports_are_resolved(self, tmp_path):
+        # `from ...hardware import mmu` inside repro/mach is the same
+        # violation spelled relatively.
+        _make_tree(tmp_path, {
+            "mach/relative.py": "from ..hardware import mmu\n",
+        })
+        violations = check_layers(tmp_path)
+        assert [(m, i) for m, i, _ in violations] == \
+            [("repro.mach.relative", "repro.hardware")]
+
+    def test_cli_reports_failure(self, tmp_path, capsys):
+        _make_tree(tmp_path, {
+            "minimal/sneaky.py": "import repro.hardware.bus\n",
+        })
+        assert main([str(tmp_path)]) == 1
+        assert "LAYER VIOLATION" in capsys.readouterr().out

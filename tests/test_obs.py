@@ -202,11 +202,15 @@ class TestJsonlSink:
         assert fault["attrs"]["write"] is True
         assert fault["events"]["fault_dispatch"] == 1
         # Nesting is visible in the stream: the pull-in happened inside
-        # the fault.
+        # the materialize stage of the fault's pipeline run.
+        materialize = next(record for record in lines
+                           if record["span"] == "engine.stage.materialize")
+        assert materialize["parent"] == fault["id"]
+        assert materialize["depth"] == fault["depth"] + 1
         pull = next(record for record in lines
                     if record["span"] == "cache.pull_in")
-        assert pull["parent"] == fault["id"]
-        assert pull["depth"] == fault["depth"] + 1
+        assert pull["parent"] == materialize["id"]
+        assert pull["depth"] == materialize["depth"] + 1
 
 
 # ---------------------------------------------------------------------------

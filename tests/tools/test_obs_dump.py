@@ -24,6 +24,15 @@ class TestObsDump:
         # through the same counters.
         assert snapshot["counters"]["bzero_page"] >= 4
         assert snapshot["counters"]["bcopy_page"] >= 1
+        # ... and resolves its pages through the staged engine.  The
+        # minimal backend never hardware-faults (regions are eager), so
+        # its tasks enter the pipeline past `locate`.
+        stages = ("authorize", "resolve", "materialize", "install") \
+            if backend == "minimal" \
+            else ("locate", "authorize", "resolve", "materialize",
+                  "install")
+        for stage in stages:
+            assert snapshot["counters"][f"engine.stage.{stage}"] >= 1
 
     def test_pvm_dump_includes_spans_and_fault_counts(self, capsys):
         main(["obs-dump"])
