@@ -1,0 +1,424 @@
+"""Bench flight recorder: named workloads, recorded runs, regression gate.
+
+``run_suite`` executes a suite of named workloads (the Table 6/7 cells
+plus the fork, pageout and DSM shapes used by the ablations) over the
+three memory managers, capturing for each (workload, backend) cell:
+
+* **wall_ms** — best-of-N host wall time of the workload body (the
+  only machine-dependent number; N fresh systems are built so runs
+  never share caches);
+* **virtual_ms** — the deterministic virtual-clock cost of the same
+  body (bit-identical from run to run, and unaffected by tracing);
+* **metrics** — the full ``metrics_snapshot()`` document, labeled
+  series included.
+
+``record`` writes the suite result as JSON (``BENCH_<n>.json`` at the
+repo root by convention), validated against
+:data:`BENCH_RESULT_SCHEMA`.  ``compare`` diffs two recorded documents
+and flags any cell whose wall time grew by more than a configurable
+factor — the CI regression gate (``python -m repro bench --compare``).
+
+Workloads are split into ``setup`` (build the system, pre-populate
+data — untimed) and ``body`` (the measured mechanism), so ``obs-dump
+--workload`` can attach a span sink between the two and trace exactly
+the measured part.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.costmodel import (
+    CHORUS_SUN360, MACH_SUN360, SUN360_MEMORY, SUN360_PAGE,
+)
+from repro.kernel.clock import ClockRegion
+from repro.obs.schema import SNAPSHOT_SCHEMA, validate
+from repro.units import KB
+
+__all__ = [
+    "BACKENDS", "BENCH_RESULT_SCHEMA", "RESULT_VERSION", "WORKLOADS",
+    "Workload", "build_nucleus", "compare", "format_compare", "load",
+    "record", "run_suite", "run_workload",
+]
+
+#: Memory managers the suite covers, in recording order.
+BACKENDS = ("pvm", "mach", "minimal")
+
+RESULT_VERSION = 1
+
+REGION_BASE = 0x0100_0000
+SRC_BASE = 0x0200_0000
+
+
+def build_nucleus(backend: str):
+    """A fresh Nucleus on SUN-3/60-calibrated hardware for *backend*
+    (``pvm``, ``mach`` or ``minimal``)."""
+    from repro.mach.mach_vm import MachVirtualMemory
+    from repro.minimal.minimal_vm import RealTimeVirtualMemory
+    from repro.nucleus.nucleus import Nucleus
+    from repro.pvm.pvm import PagedVirtualMemory
+
+    vm_class, cost_model = {
+        "pvm": (PagedVirtualMemory, CHORUS_SUN360),
+        "mach": (MachVirtualMemory, MACH_SUN360),
+        "minimal": (RealTimeVirtualMemory, CHORUS_SUN360),
+    }[backend]
+    return Nucleus(vm_class=vm_class, cost_model=cost_model,
+                   memory_size=SUN360_MEMORY, page_size=SUN360_PAGE)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark: untimed *setup*, measured *body*.
+
+    ``setup(backend)`` returns a state dict that must carry ``clock``
+    (the virtual clock the body charges) and ``vm`` (the manager whose
+    metrics are snapshotted); ``body(state)`` runs the measured
+    mechanism.
+    """
+
+    name: str
+    description: str
+    backends: Sequence[str]
+    setup: Callable[[str], dict]
+    body: Callable[[dict], None]
+
+
+# -- workload definitions -------------------------------------------------------
+
+def _nucleus_state(backend: str, **extra) -> dict:
+    nucleus = build_nucleus(backend)
+    state = {"nucleus": nucleus, "vm": nucleus.vm, "clock": nucleus.clock}
+    state.update(extra)
+    return state
+
+
+def _zero_fill_setup(backend: str) -> dict:
+    state = _nucleus_state(backend)
+    state["actor"] = state["nucleus"].create_actor("bench")
+    return state
+
+
+def _zero_fill_body(state: dict) -> None:
+    # The (1024 KB, 32 touched pages) Table 6 cell.
+    nucleus, actor = state["nucleus"], state["actor"]
+    page_size = nucleus.vm.page_size
+    region = nucleus.rgn_allocate(actor, 1024 * KB, address=REGION_BASE)
+    for index in range(32):
+        actor.write(REGION_BASE + index * page_size, b"\x01")
+    nucleus.rgn_free(actor, region)
+
+
+def _cow_setup(backend: str) -> dict:
+    # "The source region is created and allocated before starting the
+    # measurement" — a 256 KB source, fully written.
+    state = _nucleus_state(backend)
+    nucleus = state["nucleus"]
+    actor = nucleus.create_actor("bench")
+    page_size = nucleus.vm.page_size
+    nucleus.rgn_allocate(actor, 256 * KB, address=SRC_BASE)
+    for index in range(256 * KB // page_size):
+        actor.write(SRC_BASE + index * page_size,
+                    bytes([index % 251 + 1]))
+    state["actor"] = actor
+    return state
+
+
+def _cow_body(state: dict) -> None:
+    from repro.gmi.types import Protection
+
+    nucleus, actor = state["nucleus"], state["actor"]
+    page_size = nucleus.vm.page_size
+    copy_region = nucleus.rgn_init_from_actor(
+        actor, actor, SRC_BASE, address=REGION_BASE,
+        protection=Protection.RW)
+    for index in range(8):
+        actor.write(SRC_BASE + index * page_size, b"\xFF")
+    nucleus.rgn_free(actor, copy_region)
+
+
+def _shell_body(state: dict) -> None:
+    from repro.workloads.fork_workload import shell_pipeline
+
+    shell_pipeline(state["nucleus"], generations=8)
+
+
+def _cow_chain_body(state: dict) -> None:
+    from repro.workloads.fork_workload import fork_exit_chain
+
+    fork_exit_chain(state["nucleus"], generations=6, collapse=True)
+
+
+def _pageout_setup(backend: str) -> dict:
+    state = _nucleus_state(backend)
+    nucleus = state["nucleus"]
+    vm = nucleus.vm
+    cache = nucleus.segment_manager.create_temporary("pageout-data")
+    for index in range(64):
+        vm.cache_write(cache, index * vm.page_size, bytes([index + 1]) * 32)
+    state["cache"] = cache
+    return state
+
+
+def _pageout_body(state: dict) -> None:
+    # Evict half the resident set: dirty pages are pushed out through
+    # the provider, translations shot down, frames freed.
+    state["vm"].reclaim_frames(32)
+
+
+def _dsm_setup(backend: str) -> dict:
+    from repro.dsm.site import make_dsm_cluster
+
+    manager, sites = make_dsm_cluster(["a", "b"], segment_pages=4,
+                                      cost_model=CHORUS_SUN360)
+    site_a = sites["a"]
+    return {"vm": site_a.nucleus.vm, "clock": site_a.nucleus.clock,
+            "manager": manager, "sites": sites}
+
+
+def _dsm_body(state: dict) -> None:
+    # Write invalidations ping-pong one page between the two sites.
+    site_a, site_b = state["sites"]["a"], state["sites"]["b"]
+    for round_no in range(8):
+        site_a.write(0, bytes([round_no + 1]))
+        site_b.read(0, 1)
+        site_b.write(0, bytes([round_no + 101]))
+        site_a.read(0, 1)
+
+
+#: The named suite, in recording order.
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload for workload in (
+        Workload("zero_fill",
+                 "Table 6 cell: 1024 KB region, 32 pages touched",
+                 BACKENDS, _zero_fill_setup, _zero_fill_body),
+        Workload("cow_copy",
+                 "Table 7 cell: copy a 256 KB region, dirty 8 pages",
+                 BACKENDS, _cow_setup, _cow_body),
+        Workload("shell_pipeline",
+                 "long-lived parent forks 8 short-lived children",
+                 BACKENDS, _nucleus_state, _shell_body),
+        Workload("cow_chain",
+                 "fork/exit chain, 6 generations, collapse GC on",
+                 ("pvm", "mach"), _nucleus_state, _cow_chain_body),
+        Workload("pageout",
+                 "evict 32 of 64 dirty resident pages",
+                 ("pvm", "mach"), _pageout_setup, _pageout_body),
+        Workload("dsm_ping_pong",
+                 "two sites ping-pong writes on one coherent page",
+                 ("pvm",), _dsm_setup, _dsm_body),
+    )
+}
+
+
+# -- recording -----------------------------------------------------------------
+
+def run_workload(workload: Workload, backend: str, repeats: int = 3) -> dict:
+    """One (workload, backend) cell: best-of-*repeats* wall time, the
+    deterministic virtual time, and a full metrics snapshot."""
+    if backend not in workload.backends:
+        raise ValueError(
+            f"workload {workload.name!r} does not run on {backend!r}")
+    wall_ms_all: List[float] = []
+    virtual_ms = None
+    metrics = None
+    for _ in range(repeats):
+        state = workload.setup(backend)
+        start = time.perf_counter()
+        with ClockRegion(state["clock"]) as timer:
+            workload.body(state)
+        wall_ms_all.append((time.perf_counter() - start) * 1000.0)
+        if metrics is None:
+            virtual_ms = timer.elapsed
+            metrics = state["vm"].metrics_snapshot()
+    return {
+        "workload": workload.name,
+        "backend": backend,
+        "repeats": repeats,
+        "wall_ms": min(wall_ms_all),
+        "wall_ms_all": wall_ms_all,
+        "virtual_ms": virtual_ms,
+        "metrics": metrics,
+    }
+
+
+def run_suite(workloads: Optional[Sequence[str]] = None,
+              backends: Optional[Sequence[str]] = None,
+              repeats: int = 3,
+              label: Optional[str] = None) -> dict:
+    """Run the named suite; returns the recordable result document."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        raise ValueError(f"unknown workloads: {', '.join(unknown)} "
+                         f"(known: {', '.join(WORKLOADS)})")
+    selected_backends = tuple(backends) if backends else BACKENDS
+    unknown = [name for name in selected_backends if name not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown backends: {', '.join(unknown)}")
+    results = []
+    for name in names:
+        workload = WORKLOADS[name]
+        for backend in selected_backends:
+            if backend not in workload.backends:
+                continue
+            results.append(run_workload(workload, backend, repeats=repeats))
+    document = {
+        "meta": {"version": RESULT_VERSION, "repeats": repeats},
+        "results": results,
+    }
+    if label:
+        document["meta"]["label"] = label
+    return document
+
+
+def record(path, workloads: Optional[Sequence[str]] = None,
+           backends: Optional[Sequence[str]] = None,
+           repeats: int = 3, label: Optional[str] = None) -> dict:
+    """Run the suite, validate the document, write it to *path*."""
+    document = run_suite(workloads=workloads, backends=backends,
+                         repeats=repeats, label=label)
+    errors = validate(document, BENCH_RESULT_SCHEMA)
+    if errors:
+        raise ValueError("recorded document violates BENCH_RESULT_SCHEMA: "
+                         + "; ".join(errors))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load(path) -> dict:
+    """Read a recorded result document back."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# -- the regression gate --------------------------------------------------------
+
+def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
+    """Diff two recorded documents cell by cell.
+
+    A cell *regresses* when its wall time grew by more than
+    *threshold*× over the baseline.  Virtual-time drift is reported
+    too (it should be exactly 0.0 — the virtual clock is
+    deterministic — so any drift means the mechanisms changed), but
+    only wall time gates.
+    """
+    baseline_cells = {(cell["workload"], cell["backend"]): cell
+                      for cell in baseline["results"]}
+    current_cells = {(cell["workload"], cell["backend"]): cell
+                     for cell in current["results"]}
+    rows = []
+    regressions = []
+    for key, cell in current_cells.items():
+        base = baseline_cells.get(key)
+        if base is None:
+            rows.append({"workload": key[0], "backend": key[1],
+                         "status": "new",
+                         "wall_ms": cell["wall_ms"],
+                         "baseline_wall_ms": None, "wall_ratio": None,
+                         "virtual_drift_ms": None})
+            continue
+        if base["wall_ms"] > 0:
+            ratio = cell["wall_ms"] / base["wall_ms"]
+        else:
+            ratio = float("inf") if cell["wall_ms"] > 0 else 1.0
+        regressed = ratio > threshold
+        row = {"workload": key[0], "backend": key[1],
+               "status": "regressed" if regressed else "ok",
+               "wall_ms": cell["wall_ms"],
+               "baseline_wall_ms": base["wall_ms"],
+               "wall_ratio": ratio,
+               "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"]}
+        rows.append(row)
+        if regressed:
+            regressions.append(row)
+    for key in baseline_cells:
+        if key not in current_cells:
+            rows.append({"workload": key[0], "backend": key[1],
+                         "status": "missing",
+                         "wall_ms": None,
+                         "baseline_wall_ms": baseline_cells[key]["wall_ms"],
+                         "wall_ratio": None, "virtual_drift_ms": None})
+    rows.sort(key=lambda row: (row["workload"], row["backend"]))
+    return {"threshold": threshold, "rows": rows,
+            "regressions": regressions}
+
+
+def format_compare(report: dict) -> str:
+    """Render a compare report as the per-workload delta table."""
+    headers = ("workload", "backend", "base ms", "now ms", "ratio",
+               "vdrift ms", "status")
+    table = [headers]
+    for row in report["rows"]:
+        table.append((
+            row["workload"],
+            row["backend"],
+            "-" if row["baseline_wall_ms"] is None
+            else f"{row['baseline_wall_ms']:.2f}",
+            "-" if row["wall_ms"] is None else f"{row['wall_ms']:.2f}",
+            "-" if row["wall_ratio"] is None
+            else f"{row['wall_ratio']:.2f}x",
+            "-" if row["virtual_drift_ms"] is None
+            else f"{row['virtual_drift_ms']:+.3f}",
+            row["status"],
+        ))
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(headers))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(width) if col < 2 else cell.rjust(width)
+            for col, (cell, width) in enumerate(zip(line, widths))))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    gate = (f"REGRESSION: {len(report['regressions'])} cell(s) exceeded "
+            f"{report['threshold']:.2f}x wall time"
+            if report["regressions"]
+            else f"ok: no cell exceeded {report['threshold']:.2f}x wall time")
+    return "\n".join(lines) + "\n\n" + gate
+
+
+# -- result-document schema -----------------------------------------------------
+
+#: Shape of one recorded ``BENCH_<n>.json`` document; each cell embeds
+#: a full metrics snapshot (see :data:`repro.obs.schema.SNAPSHOT_SCHEMA`).
+BENCH_RESULT_SCHEMA = {
+    "type": "object",
+    "required": ["meta", "results"],
+    "properties": {
+        "meta": {
+            "type": "object",
+            "required": ["version", "repeats"],
+            "properties": {
+                "version": {"type": "integer", "minimum": 1},
+                "repeats": {"type": "integer", "minimum": 1},
+                "label": {"type": "string"},
+            },
+        },
+        "results": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["workload", "backend", "repeats", "wall_ms",
+                             "wall_ms_all", "virtual_ms", "metrics"],
+                "properties": {
+                    "workload": {"type": "string"},
+                    "backend": {"type": "string"},
+                    "repeats": {"type": "integer", "minimum": 1},
+                    "wall_ms": {"type": "number", "minimum": 0},
+                    "wall_ms_all": {
+                        "type": "array",
+                        "items": {"type": "number", "minimum": 0},
+                    },
+                    "virtual_ms": {"type": "number", "minimum": 0},
+                    "metrics": SNAPSHOT_SCHEMA,
+                },
+            },
+        },
+    },
+}

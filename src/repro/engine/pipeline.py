@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, Tuple
 
 from repro.engine.task import FaultTask
+from repro.obs.metrics import series_name
 
 try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
     from typing import Protocol, runtime_checkable
@@ -85,9 +86,17 @@ class FaultPipeline:
         self.backend = backend
         self.probe = probe if probe is not None else backend.probe
         # Bind the stage callables once; backends are classes, so the
-        # methods are fixed by construction time.
+        # methods are fixed by construction time.  The labeled series
+        # keys (`engine.stage.<name>{backend=...}`) are precomputed so
+        # the per-fault hot path never formats label strings: the
+        # registry rolls each one up into the plain `engine.stage.<name>`
+        # counter every existing consumer reads.
+        label = {"backend": getattr(backend, "name",
+                                    type(backend).__name__)}
         self._stages = tuple(
-            (name, "engine.stage." + name, getattr(backend, "stage_" + name))
+            (name, "engine.stage." + name,
+             series_name("engine.stage." + name, label),
+             getattr(backend, "stage_" + name))
             for name in FAULT_STAGES
         )
 
@@ -96,19 +105,19 @@ class FaultPipeline:
         """Run *task* through *stages* (a subsequence of FAULT_STAGES)."""
         probe = self.probe
         if probe.enabled:
-            for name, metric, stage in self._stages:
+            for name, metric, series, stage in self._stages:
                 if name not in stages:
                     continue
-                probe.count(metric)
+                probe.count(series)
                 with probe.span(metric) as span:
                     span.set(space=task.space, address=task.address,
                              write=task.write)
                     stage(task)
         else:
             # Hot path: counters only, no span machinery at all.
-            for name, metric, stage in self._stages:
+            for name, metric, series, stage in self._stages:
                 if name not in stages:
                     continue
-                probe.count(metric)
+                probe.count(series)
                 stage(task)
         return task

@@ -12,7 +12,6 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import InvalidOperation
 from repro.hardware.mmu import MMU, Mapping, Prot
-from repro.kernel.stats import EventCounter
 
 
 class InvertedMMU(MMU):
@@ -25,7 +24,6 @@ class InvertedMMU(MMU):
         self._entries: Dict[Tuple[int, int], Mapping] = {}
         # Per-space key index so destroy_space need not scan the world.
         self._by_space: Dict[int, set] = {}
-        self.stats = EventCounter()
 
     # -- storage hooks ---------------------------------------------------------
 

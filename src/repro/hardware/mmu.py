@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidOperation, PageFault, ProtectionViolation
+from repro.kernel.stats import EventCounter
 from repro.units import is_power_of_two
 
 
@@ -89,6 +90,20 @@ class MMU:
         self._next_space = 1
         self._live_spaces: set = set()
         self.tlb = tlb
+        #: Walk statistics.  Labeled by port so that, once bound into a
+        #: shared registry, each statistic appears both as the plain
+        #: ``mmu.<name>`` rollup and as ``mmu.<name>{port=...}``.
+        self.stats = EventCounter(namespace="mmu.",
+                                  labels={"port": self.port_name})
+
+    def bind_registry(self, registry) -> None:
+        """Re-home the walk statistics (and the TLB's, if attached)
+        into *registry*, preserving accumulated counts.  Called when an
+        MMU built before its VM is adopted into the VM's shared metrics
+        registry."""
+        self.stats.rebind(registry)
+        if self.tlb is not None:
+            self.tlb.bind_registry(registry)
 
     # -- address-space lifecycle -----------------------------------------------
 

@@ -12,7 +12,6 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import InvalidOperation
 from repro.hardware.mmu import MMU, Mapping, Prot
-from repro.kernel.stats import EventCounter
 
 #: Entries per second-level table (10 bits, like a classic two-level MMU).
 TABLE_BITS = 10
@@ -29,7 +28,6 @@ class PagedMMU(MMU):
         super().__init__(page_size, tlb=tlb)
         # space -> directory index -> table (vpn low bits -> Mapping)
         self._directories: Dict[int, Dict[int, Dict[int, Mapping]]] = {}
-        self.stats = EventCounter()
 
     # -- storage hooks ---------------------------------------------------------
 

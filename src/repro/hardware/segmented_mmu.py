@@ -18,7 +18,6 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import InvalidOperation, PageFault
 from repro.hardware.mmu import MMU, Mapping, Prot
-from repro.kernel.stats import EventCounter
 
 #: Entries per page table (the 386 used 10+10+12 bits on 4K pages; we
 #: keep the two-level split but adapt to the simulated page size).
@@ -58,7 +57,6 @@ class SegmentedMMU(MMU):
         self._descriptors: Dict[int, SegmentDescriptor] = {}
         #: space -> directory -> table -> Mapping (on linear VPNs).
         self._directories: Dict[int, Dict[int, Dict[int, Mapping]]] = {}
-        self.stats = EventCounter()
 
     # -- storage hooks ---------------------------------------------------------
 

@@ -10,9 +10,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Mapping, Optional, Set
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, series_name
 
 
 class EventCounter:
@@ -23,19 +23,29 @@ class EventCounter:
     those, so several components (clock events, TLB statistics, probe
     counters) can share one registry without clobbering each other.
 
+    A view may also carry fixed *labels* (an MMU port's
+    ``{"port": "paged"}``): every counter it touches becomes a labeled
+    ``name{k=v}`` series, and the registry maintains the plain-name
+    rollup automatically, so one shared registry can hold the same
+    statistic decomposed across several components.
+
     Constructed bare (``EventCounter()``) it owns a private registry
     and behaves exactly like the original stand-alone counter bag.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 namespace: str = ""):
+                 namespace: str = "",
+                 labels: Optional[Mapping[str, object]] = None):
         self.registry = registry or MetricsRegistry()
         self.namespace = namespace
+        self.labels = dict(labels) if labels else None
+        #: ``name{labels}`` suffix appended to every counter name.
+        self._suffix = series_name("", self.labels) if self.labels else ""
         #: fully-qualified names this view has incremented.
         self._owned: Set[str] = set()
 
     def _full(self, name: str) -> str:
-        return self.namespace + name
+        return self.namespace + name + self._suffix
 
     def add(self, name: str, count: int = 1) -> None:
         """Increment counter *name* by *count*."""

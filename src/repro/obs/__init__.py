@@ -24,7 +24,11 @@ Disabled probes are near-free: with the :data:`NULL_SINK` installed
 allocates nothing per event.
 """
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import (
+    to_chrome_trace, to_collapsed_stacks, write_chrome_trace,
+    write_collapsed_stacks,
+)
+from repro.obs.metrics import MetricsRegistry, series_name, split_series
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.schema import SNAPSHOT_SCHEMA, validate
 from repro.obs.sinks import (
@@ -34,6 +38,8 @@ from repro.obs.span import NOOP_SPAN, NoopSpan, Span
 
 __all__ = [
     "MetricsRegistry",
+    "series_name",
+    "split_series",
     "Probe",
     "NULL_PROBE",
     "Span",
@@ -47,4 +53,8 @@ __all__ = [
     "CallbackSink",
     "SNAPSHOT_SCHEMA",
     "validate",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
+    "write_chrome_trace",
+    "write_collapsed_stacks",
 ]

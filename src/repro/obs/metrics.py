@@ -6,12 +6,50 @@ Counters are plain integers in a dict (the cheapest thing Python can
 increment under a lock); histograms keep a bounded sample plus exact
 count/sum/min/max, so percentiles stay available without unbounded
 memory growth.
+
+Metrics may carry **label dimensions**: ``inc("fault.write",
+labels={"backend": "pvm"})`` (or the precomputed series key
+``"fault.write{backend=pvm}"``) maintains two series — the labeled
+``name{k=v,...}`` breakdown *and* the plain-name rollup — so every
+consumer that predates labels (vmstat columns, snapshot schemas,
+``counter_value``) keeps reading the aggregate it always read, while
+new consumers can decompose the same cost by backend, MMU port,
+pipeline stage or segment.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+def series_name(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """The storage key of a labeled series: ``name{k=v,...}``.
+
+    Label keys are sorted so the same label set always produces the
+    same series, whatever order the call site wrote it in.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`series_name`: ``(base name, labels dict)``.
+
+    Plain names come back with an empty labels dict.
+    """
+    if "{" not in series:
+        return series, {}
+    base, _, raw = series.partition("{")
+    raw = raw.rstrip("}")
+    labels: Dict[str, str] = {}
+    for pair in raw.split(","):
+        if pair:
+            key, _, value = pair.partition("=")
+            labels[key] = value
+    return base, labels
 
 
 class Histogram:
@@ -50,9 +88,21 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The *q*-th percentile (0 <= q <= 100) over the kept sample."""
+        """The *q*-th percentile (0 <= q <= 100) over the kept sample.
+
+        An empty histogram answers 0.0 for any *q*.  The extremes are
+        answered from the exact running min/max, not the bounded
+        sample, so ``percentile(0)`` / ``percentile(100)`` stay correct
+        even after the reservoir started decimating observations.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q!r} outside [0, 100]")
         if not self._sample:
             return 0.0
+        if q == 0.0:
+            return self.min if self.min is not None else self._sample[0]
+        if q == 100.0:
+            return self.max if self.max is not None else self._sample[0]
         ordered = sorted(self._sample)
         if len(ordered) == 1:
             return ordered[0]
@@ -91,59 +141,144 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: series key -> base name, filled lazily so hot paths passing
+        #: a precomputed ``name{k=v}`` key never re-split the string.
+        self._series_base: Dict[str, str] = {}
         self.generation = 0
+
+    def _base_of(self, name: str) -> Optional[str]:
+        """Base (rollup) name of a labeled series key, None when plain."""
+        if "{" not in name:
+            return None
+        base = self._series_base.get(name)
+        if base is None:
+            base = self._series_base[name] = name.partition("{")[0]
+        return base
 
     # -- counters -----------------------------------------------------------
 
-    def inc(self, name: str, count: int = 1) -> None:
-        """Increment counter *name* by *count*."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + count
+    def inc(self, name: str, count: int = 1,
+            labels: Optional[Mapping[str, object]] = None) -> None:
+        """Increment counter *name* by *count*.
 
-    def counter_value(self, name: str) -> int:
-        """Current value of counter *name* (0 if never incremented)."""
+        With *labels* (or a precomputed ``name{k=v,...}`` series key),
+        both the labeled series and the plain-name rollup advance, so
+        aggregate consumers are unaffected by the decomposition.
+        """
+        if labels:
+            name = series_name(name, labels)
+        with self._lock:
+            counters = self._counters
+            counters[name] = counters.get(name, 0) + count
+            base = self._base_of(name)
+            if base is not None:
+                counters[base] = counters.get(base, 0) + count
+
+    def counter_value(self, name: str,
+                      labels: Optional[Mapping[str, object]] = None) -> int:
+        """Current value of counter *name* (0 if never incremented).
+
+        A plain *name* reads the rollup (every labeled increment is
+        included); pass *labels* or a series key for one breakdown.
+        """
+        if labels:
+            name = series_name(name, labels)
         with self._lock:
             return self._counters.get(name, 0)
 
     def counter_values(self) -> Dict[str, int]:
-        """A copy of every counter."""
+        """A copy of every counter (labeled series included)."""
         with self._lock:
             return dict(self._counters)
+
+    def labeled_counters(self, name: str) -> Dict[str, int]:
+        """Every labeled series of counter *name*, keyed by series."""
+        prefix = name + "{"
+        with self._lock:
+            return {
+                key: value for key, value in self._counters.items()
+                if key.startswith(prefix)
+            }
 
     def drop_counters(self, names: Iterable[str]) -> None:
         """Remove the given counters entirely (a scoped reset).
 
-        Bumps the generation so samplers resample their baselines.
+        A plain name takes its labeled series with it; dropping one
+        labeled series subtracts its value from the rollup, so the
+        rollup stays the sum of what remains.  Bumps the generation so
+        samplers resample their baselines.
         """
         with self._lock:
             for name in names:
+                base = self._base_of(name)
+                if base is not None:
+                    # One labeled series: keep the rollup consistent.
+                    dropped = self._counters.pop(name, 0)
+                    if dropped and base in self._counters:
+                        remaining = self._counters[base] - dropped
+                        if remaining > 0:
+                            self._counters[base] = remaining
+                        else:
+                            self._counters.pop(base, None)
+                    continue
                 self._counters.pop(name, None)
+                prefix = name + "{"
+                for key in [key for key in self._counters
+                            if key.startswith(prefix)]:
+                    del self._counters[key]
             self.generation += 1
 
     # -- gauges -------------------------------------------------------------
 
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set gauge *name* to *value* (last write wins)."""
+    def set_gauge(self, name: str, value: float,
+                  labels: Optional[Mapping[str, object]] = None) -> None:
+        """Set gauge *name* to *value* (last write wins).
+
+        A labeled gauge has no meaningful rollup (last-write-wins does
+        not aggregate), so only the labeled series is written.
+        """
+        if labels:
+            name = series_name(name, labels)
         with self._lock:
             self._gauges[name] = value
 
-    def gauge_value(self, name: str, default: float = 0.0) -> float:
+    def gauge_value(self, name: str, default: float = 0.0,
+                    labels: Optional[Mapping[str, object]] = None) -> float:
         """Current value of gauge *name*."""
+        if labels:
+            name = series_name(name, labels)
         with self._lock:
             return self._gauges.get(name, default)
 
     # -- histograms ---------------------------------------------------------
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one observation into histogram *name*."""
-        with self._lock:
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                histogram = self._histograms[name] = Histogram(name)
-            histogram.observe(value)
+    def observe(self, name: str, value: float,
+                labels: Optional[Mapping[str, object]] = None) -> None:
+        """Record one observation into histogram *name*.
 
-    def histogram(self, name: str) -> Histogram:
+        With *labels* the observation lands in both the labeled series
+        and the plain-name rollup histogram.
+        """
+        if labels:
+            name = series_name(name, labels)
+        with self._lock:
+            histograms = self._histograms
+            histogram = histograms.get(name)
+            if histogram is None:
+                histogram = histograms[name] = Histogram(name)
+            histogram.observe(value)
+            base = self._base_of(name)
+            if base is not None:
+                rollup = histograms.get(base)
+                if rollup is None:
+                    rollup = histograms[base] = Histogram(base)
+                rollup.observe(value)
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, object]] = None) -> Histogram:
         """The histogram named *name* (created empty if absent)."""
+        if labels:
+            name = series_name(name, labels)
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:

@@ -20,6 +20,7 @@ answers "which mechanism events happened inside this operation".
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
 from repro.obs.metrics import MetricsRegistry
@@ -85,17 +86,24 @@ class Probe:
 
     # -- metrics ------------------------------------------------------------
 
-    def count(self, name: str, n: int = 1) -> None:
-        """Increment a registry counter."""
-        self.registry.inc(name, n)
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        """Increment a registry counter.
 
-    def gauge(self, name: str, value: float) -> None:
+        Keyword labels (``probe.count("fault.write", backend="pvm")``)
+        record a labeled ``name{k=v,...}`` series alongside the
+        plain-name rollup.  Hot paths may instead pass a precomputed
+        series key (see :func:`repro.obs.metrics.series_name`) as
+        *name* to skip the per-call formatting.
+        """
+        self.registry.inc(name, n, labels=labels or None)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
         """Set a registry gauge."""
-        self.registry.set_gauge(name, value)
+        self.registry.set_gauge(name, value, labels=labels or None)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, **labels: object) -> None:
         """Record into a registry histogram."""
-        self.registry.observe(name, value)
+        self.registry.observe(name, value, labels=labels or None)
 
     # -- spans --------------------------------------------------------------
 
@@ -115,6 +123,7 @@ class Probe:
             depth=len(self._stack),
             start_ms=self.clock.now() if self.clock is not None else 0.0,
         )
+        span.wall_start_s = perf_counter()
         self._next_span_id += 1
         return span
 
@@ -140,6 +149,7 @@ class Probe:
         if self._stack:
             self._stack.pop()
         span.end_ms = self.clock.now() if self.clock is not None else 0.0
+        span.wall_end_s = perf_counter()
         self.registry.observe(f"span.{span.name}.ms", span.duration_ms)
         self.sink.emit(span)
 

@@ -21,7 +21,8 @@ class Span:
     """One timed, attributed, nestable trace record."""
 
     __slots__ = ("name", "span_id", "parent_id", "depth", "start_ms",
-                 "end_ms", "attrs", "events", "_probe")
+                 "end_ms", "wall_start_s", "wall_end_s", "attrs", "events",
+                 "_probe")
 
     def __init__(self, probe, name: str, span_id: int,
                  parent_id: Optional[int], depth: int, start_ms: float):
@@ -32,6 +33,10 @@ class Span:
         self.depth = depth
         self.start_ms = start_ms
         self.end_ms: Optional[float] = None
+        #: host wall-clock bracket (``time.perf_counter`` seconds),
+        #: stamped by the probe; only meaningful while tracing is on.
+        self.wall_start_s: Optional[float] = None
+        self.wall_end_s: Optional[float] = None
         self.attrs: Dict[str, object] = {}
         #: mechanism events charged while this span was innermost,
         #: event value -> count.
@@ -54,6 +59,14 @@ class Span:
         if self.end_ms is None:
             return 0.0
         return self.end_ms - self.start_ms
+
+    @property
+    def wall_ms(self) -> float:
+        """Host wall-clock time spent inside the span (0.0 while open
+        or when the probe never stamped wall times)."""
+        if self.wall_start_s is None or self.wall_end_s is None:
+            return 0.0
+        return (self.wall_end_s - self.wall_start_s) * 1000.0
 
     # -- context-manager protocol ------------------------------------------
 
@@ -79,6 +92,7 @@ class Span:
             "depth": self.depth,
             "start_ms": self.start_ms,
             "end_ms": self.end_ms,
+            "wall_ms": self.wall_ms,
             "attrs": dict(self.attrs),
             "events": dict(self.events),
         }

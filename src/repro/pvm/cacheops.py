@@ -292,6 +292,10 @@ class CacheOpsMixin:
         self.global_map.insert(cache, offset, stub)
         self.clock.charge(CostEvent.PULL_IN)
         cache.stats.pull_ins += 1
+        # Labeled: which segment is paying the upcalls, and for what
+        # access mode (rolls up into the plain `cache.pull_in` count).
+        self.probe.count("cache.pull_in", segment=cache.name,
+                         mode=mode.name.lower())
         with self.probe.span("cache.pull_in") as span:
             if span:
                 span.set(cache=cache.name, offset=offset,

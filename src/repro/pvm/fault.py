@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.engine import RESOLUTION_STAGES, FaultTask
 from repro.errors import AccessViolation, SegmentationFault
+from repro.obs.metrics import series_name
 from repro.gmi.types import Protection
 from repro.kernel.clock import CostEvent
 from repro.pvm.cache import PvmCache
@@ -38,6 +39,20 @@ from repro.pvm.region import PvmRegion
 
 class FaultMixin:
     """Fault dispatch and the five pipeline stages, grafted onto the PVM."""
+
+    @property
+    def _fault_series(self):
+        """Cached ``(read, write)`` labeled counter keys for this
+        backend — `fault.read{backend=pvm}` etc.; the registry rolls
+        them up into the plain `fault.read` / `fault.write` counters."""
+        series = getattr(self, "_fault_series_cache", None)
+        if series is None:
+            label = {"backend": self.name}
+            series = self._fault_series_cache = (
+                series_name("fault.read", label),
+                series_name("fault.write", label),
+            )
+        return series
 
     def handle_fault(self, fault: FaultRecord) -> None:
         """Resolve one hardware fault (the bus retries the access)."""
@@ -119,7 +134,7 @@ class FaultMixin:
                 self.clock.charge(CostEvent.FIRST_TOUCH)
             if task.protection_violation and task.write:
                 self.clock.charge(CostEvent.PROT_FAULT_RESOLVE)
-            self.probe.count("fault.write" if task.write else "fault.read")
+            self.probe.count(self._fault_series[bool(task.write)])
             if task.write:
                 cache.stats.write_faults += 1
             else:

@@ -296,7 +296,8 @@ class HistoryMixin:
                 # while a sink is attached: the disabled path must stay
                 # a plain integer increment.
                 if hops and self.probe.enabled:
-                    self.probe.observe("history.depth", hops)
+                    self.probe.observe("history.depth", hops,
+                                       backend=self.name)
                 return entry
             fragment = current.parents.find(current_offset)
             if fragment is not None and current_offset not in current.owned:

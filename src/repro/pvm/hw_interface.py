@@ -52,9 +52,13 @@ def build_physical_memory(memory_size: int, page_size: int) -> PhysicalMemory:
 def build_mmu(page_size: int, tlb_entries: Optional[int] = None,
               registry=None) -> MMU:
     """Construct the default MMU port (two-level page tables), with an
-    optional TLB bound to the shared metrics registry."""
+    optional TLB — walk and TLB statistics bound to the shared metrics
+    registry as ``mmu.*{port=...}`` / ``tlb.*`` series."""
     tlb = TLB(tlb_entries, registry=registry) if tlb_entries else None
-    return PagedMMU(page_size, tlb=tlb)
+    mmu = PagedMMU(page_size, tlb=tlb)
+    if registry is not None:
+        mmu.stats.rebind(registry)
+    return mmu
 
 
 def build_bus(memory: PhysicalMemory, mmu: MMU, fault_handler) -> MemoryBus:

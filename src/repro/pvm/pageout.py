@@ -55,7 +55,8 @@ class PageoutMixin:
             if span:
                 span.set(target=target, freed=freed)
         if freed:
-            self.probe.count("pageout.evicted", freed)
+            self.probe.count("pageout.evicted", freed,
+                             backend=self.name, policy=self.policy.name)
         return freed
 
     def _evict_page(self, page: RealPageDescriptor) -> None:

@@ -77,7 +77,8 @@ class PerPageMixin:
             self.hw.shootdown_served(cache, offset)
             self._register_page(page)
             cache.stats.copy_faults += 1
-            self.probe.count("cow.materialized")
+            self.probe.count("cow.materialized", backend=self.name,
+                             kind="stub")
         return page
 
     def _stub_source_page(self, stub: CowStub) -> RealPageDescriptor:

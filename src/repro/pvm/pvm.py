@@ -88,10 +88,10 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         if mmu is None:
             mmu = build_mmu(self.memory.page_size, tlb_entries,
                             registry=self.clock.registry)
-        elif getattr(mmu, "tlb", None) is not None:
-            # An externally-built MMU brings its own TLB: adopt its
-            # statistics into the shared registry.
-            mmu.tlb.bind_registry(self.clock.registry)
+        else:
+            # An externally-built MMU brings its own walk (and TLB)
+            # statistics: adopt them into the shared registry.
+            mmu.bind_registry(self.clock.registry)
         if mmu.page_size != self.memory.page_size:
             raise InvalidOperation("MMU and memory disagree on page size")
         self.mmu = mmu

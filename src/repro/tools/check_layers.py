@@ -7,7 +7,7 @@ The reproduction's layering (docs/ARCHITECTURE.md) is::
     repro.pvm.hw_interface       machine-dependent layer
     repro.hardware               MMU ports, TLB, bus, physical memory
 
-Two rules keep the stack honest — the same discipline the paper's
+Three rules keep the stack honest — the same discipline the paper's
 "hardware-independent interface" (section 4) imposes on the real PVM:
 
 1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
@@ -17,6 +17,9 @@ Two rules keep the stack honest — the same discipline the paper's
    re-exports and factories.
 2. **The engine floats above everything.**  ``repro.engine`` imports
    neither ``repro.hardware`` nor any backend package.
+3. **Observability is passive.**  ``repro.obs`` (metrics, spans,
+   trace export) is instrumentation the other layers call *into*; it
+   must not import backends or ``repro.hardware`` itself.
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -39,6 +42,9 @@ HARDWARE_GATE = "repro.pvm.hw_interface"
 
 #: prefixes the engine must never import.
 ENGINE_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
+
+#: prefixes the observability layer must never import.
+OBS_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -101,6 +107,15 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                     violations.append((
                         module, imported,
                         "repro.engine must not import backends or "
+                        "hardware",
+                    ))
+        if _under(module, "repro.obs"):
+            for imported in imports:
+                if any(_under(imported, banned)
+                       for banned in OBS_FORBIDDEN):
+                    violations.append((
+                        module, imported,
+                        "repro.obs must not import backends or "
                         "hardware",
                     ))
     return violations

@@ -7,6 +7,10 @@ loc       print the Table 5 component-size analogue
 figure3   replay the Figure 3 scenarios with live tree rendering
 info      one-paragraph summary of the reproduction and its versions
 obs-dump  run a small workload and emit a JSON metrics snapshot
+          (optionally a named bench workload, with Chrome-trace and
+          collapsed-stack exports)
+bench     record a BENCH_<n>.json flight-recorder run, or compare two
+          runs and gate on wall-time regressions
 layers    verify the layer contract (docs/ARCHITECTURE.md import rules)
 """
 
@@ -101,25 +105,11 @@ def cmd_info(_args) -> int:
     return 0
 
 
-def cmd_obs_dump(args) -> int:
-    """Exercise every observable mechanism once, dump the registry."""
-    import json
+def _obs_canonical(vm) -> None:
+    """Exercise every observable mechanism once (the default obs-dump
+    workload; unchanged across releases)."""
+    from repro import CopyPolicy, Protection, ZeroFillProvider
 
-    from repro import (
-        CopyPolicy, MachVirtualMemory, PagedVirtualMemory, Protection,
-        RealTimeVirtualMemory, ZeroFillProvider,
-    )
-    from repro.obs import RingBufferSink
-    from repro.units import MB
-
-    backend = {
-        "pvm": PagedVirtualMemory,
-        "mach": MachVirtualMemory,
-        "minimal": RealTimeVirtualMemory,
-    }[args.backend]
-    vm = backend(memory_size=8 * MB)
-    sink = RingBufferSink(capacity=4096)
-    vm.probe.set_sink(sink)
     page = vm.page_size
 
     # Zero-fill faults: map an anonymous segment and touch it.
@@ -142,8 +132,93 @@ def cmd_obs_dump(args) -> int:
     # tree, sampling the history.depth histogram.
     copy.read(page, 8)
 
+
+def cmd_obs_dump(args) -> int:
+    """Run a workload with a span sink attached, dump the registry;
+    optionally export the trace as Chrome-trace JSON / collapsed
+    stacks."""
+    import json
+
+    from repro import (
+        MachVirtualMemory, PagedVirtualMemory, RealTimeVirtualMemory,
+    )
+    from repro.obs import (
+        RingBufferSink, write_chrome_trace, write_collapsed_stacks,
+    )
+    from repro.units import MB
+
+    if args.workload:
+        from repro.bench.harness import WORKLOADS
+        workload = WORKLOADS.get(args.workload)
+        if workload is None:
+            print(f"unknown workload {args.workload!r} "
+                  f"(known: {', '.join(WORKLOADS)})", file=sys.stderr)
+            return 2
+        if args.backend not in workload.backends:
+            print(f"workload {args.workload!r} does not run on "
+                  f"{args.backend!r} (runs on: "
+                  f"{', '.join(workload.backends)})", file=sys.stderr)
+            return 2
+        # Attach the sink between setup and body, so the trace covers
+        # exactly the measured mechanism.
+        state = workload.setup(args.backend)
+        vm = state["vm"]
+        sink = RingBufferSink(capacity=4096)
+        vm.probe.set_sink(sink)
+        workload.body(state)
+    else:
+        backend = {
+            "pvm": PagedVirtualMemory,
+            "mach": MachVirtualMemory,
+            "minimal": RealTimeVirtualMemory,
+        }[args.backend]
+        vm = backend(memory_size=8 * MB)
+        sink = RingBufferSink(capacity=4096)
+        vm.probe.set_sink(sink)
+        _obs_canonical(vm)
+
     snapshot = vm.metrics_snapshot()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    if args.trace_out:
+        write_chrome_trace(sink.spans, args.trace_out)
+        print(f"wrote {len(sink.spans)} spans to {args.trace_out}",
+              file=sys.stderr)
+    if args.stacks_out:
+        write_collapsed_stacks(sink.spans, args.stacks_out)
+        print(f"wrote collapsed stacks to {args.stacks_out}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Record a flight-recorder run and/or gate on a baseline."""
+    from repro.bench.harness import (
+        compare, format_compare, load, record, run_suite,
+    )
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    backends = args.backends.split(",") if args.backends else None
+    current = None
+    if args.record:
+        current = record(args.out, workloads=workloads, backends=backends,
+                         repeats=args.repeats, label=args.label)
+        print(f"recorded {len(current['results'])} cells to {args.out}")
+    if args.compare:
+        baseline = load(args.compare)
+        if current is None:
+            if args.current:
+                current = load(args.current)
+            else:
+                current = run_suite(workloads=workloads, backends=backends,
+                                    repeats=args.repeats, label=args.label)
+        report = compare(baseline, current, threshold=args.threshold)
+        print(format_compare(report))
+        if report["regressions"]:
+            return 1
+    elif not args.record:
+        print("nothing to do: pass --record and/or --compare",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -165,6 +240,7 @@ COMMANDS = {
     "figure3": cmd_figure3,
     "info": cmd_info,
     "obs-dump": cmd_obs_dump,
+    "bench": cmd_bench,
     "layers": cmd_layers,
 }
 
@@ -184,6 +260,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.add_argument("--backend", choices=("pvm", "mach", "minimal"),
                      default="pvm",
                      help="memory manager to exercise (default: pvm)")
+    obs.add_argument("--workload", default=None, metavar="NAME",
+                     help="run a named bench workload instead of the "
+                          "canonical obs scenario (see repro.bench.harness)")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the span buffer as Chrome-trace JSON")
+    obs.add_argument("--stacks-out", default=None, metavar="FILE",
+                     help="write the span buffer as collapsed stacks "
+                          "(flamegraph input)")
+    bench = subparsers.add_parser(
+        "bench",
+        help="record and/or compare flight-recorder runs")
+    bench.add_argument("--record", action="store_true",
+                       help="run the suite and write the result document")
+    bench.add_argument("--out", default="BENCH_3.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_3.json)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="baseline document to gate against")
+    bench.add_argument("--current", default=None, metavar="FILE",
+                       help="with --compare: use this recorded document "
+                            "instead of running the suite")
+    bench.add_argument("--threshold", type=float, default=1.5,
+                       help="wall-time regression gate, as a ratio "
+                            "(default: 1.5)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="wall-time samples per cell; best is kept "
+                            "(default: 3)")
+    bench.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset")
+    bench.add_argument("--backends", default=None,
+                       help="comma-separated backend subset")
+    bench.add_argument("--label", default=None,
+                       help="free-form label stored in the document meta")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

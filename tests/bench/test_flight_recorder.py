@@ -1,0 +1,149 @@
+"""The bench flight recorder: record, validate, compare, gate."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.harness import (
+    BACKENDS, BENCH_RESULT_SCHEMA, WORKLOADS, compare, format_compare,
+    run_suite, run_workload, record,
+)
+from repro.obs.schema import validate
+from repro.tools.cli import main
+
+SCHEMA_FILE = pathlib.Path(__file__).resolve().parents[2] \
+    / "docs" / "bench_result.schema.json"
+
+#: Small-but-real subset used for the smoke tests.
+MINI = dict(workloads=["zero_fill", "pageout"], backends=["pvm"],
+            repeats=2)
+
+
+@pytest.fixture(scope="module")
+def mini_doc():
+    return run_suite(**MINI)
+
+
+class TestSuite:
+    def test_registry_covers_all_backends(self):
+        covered = set()
+        for workload in WORKLOADS.values():
+            covered.update(workload.backends)
+            assert set(workload.backends) <= set(BACKENDS)
+        assert covered == set(BACKENDS)
+
+    def test_mini_record_is_schema_valid(self, mini_doc):
+        assert validate(mini_doc, BENCH_RESULT_SCHEMA) == []
+
+    def test_checked_in_schema_matches_source(self, mini_doc):
+        checked_in = json.loads(SCHEMA_FILE.read_text())
+        assert checked_in == json.loads(json.dumps(BENCH_RESULT_SCHEMA))
+        assert validate(mini_doc, checked_in) == []
+
+    def test_cells_carry_wall_virtual_and_metrics(self, mini_doc):
+        cells = {(cell["workload"], cell["backend"]): cell
+                 for cell in mini_doc["results"]}
+        assert set(cells) == {("zero_fill", "pvm"), ("pageout", "pvm")}
+        for cell in cells.values():
+            assert cell["wall_ms"] == min(cell["wall_ms_all"])
+            assert len(cell["wall_ms_all"]) == MINI["repeats"]
+            assert cell["virtual_ms"] > 0
+            assert cell["metrics"]["counters"]
+
+    def test_virtual_time_is_deterministic_across_runs(self, mini_doc):
+        again = run_workload(WORKLOADS["zero_fill"], "pvm", repeats=1)
+        cell = next(item for item in mini_doc["results"]
+                    if item["workload"] == "zero_fill")
+        assert again["virtual_ms"] == cell["virtual_ms"]
+
+    def test_labeled_series_reach_the_recorded_metrics(self, mini_doc):
+        cell = next(item for item in mini_doc["results"]
+                    if item["workload"] == "zero_fill")
+        counters = cell["metrics"]["counters"]
+        assert counters["fault.write{backend=pvm}"] == \
+            counters["fault.write"]
+
+    def test_record_writes_validated_json(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        document = record(path, **MINI)
+        assert json.loads(path.read_text()) == \
+            json.loads(json.dumps(document))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(workloads=["nope"])
+        with pytest.raises(ValueError):
+            run_suite(backends=["vax"])
+        with pytest.raises(ValueError):
+            run_workload(WORKLOADS["dsm_ping_pong"], "minimal")
+
+
+class TestCompareGate:
+    def test_identical_documents_pass(self, mini_doc):
+        report = compare(mini_doc, mini_doc)
+        assert report["regressions"] == []
+        assert all(row["status"] == "ok" for row in report["rows"])
+        assert all(row["virtual_drift_ms"] == 0.0
+                   for row in report["rows"])
+        assert "ok:" in format_compare(report)
+
+    def test_doctored_baseline_flags_2x_regression(self, mini_doc):
+        doctored = copy.deepcopy(mini_doc)
+        for cell in doctored["results"]:
+            cell["wall_ms"] /= 2.0       # current now looks 2x slower
+        report = compare(doctored, mini_doc, threshold=1.5)
+        assert len(report["regressions"]) == len(mini_doc["results"])
+        assert all(row["wall_ratio"] == pytest.approx(2.0)
+                   for row in report["regressions"])
+        assert "REGRESSION" in format_compare(report)
+
+    def test_threshold_is_configurable(self, mini_doc):
+        doctored = copy.deepcopy(mini_doc)
+        for cell in doctored["results"]:
+            cell["wall_ms"] /= 2.0
+        assert compare(doctored, mini_doc,
+                       threshold=3.0)["regressions"] == []
+
+    def test_new_and_missing_cells_reported_not_gated(self, mini_doc):
+        shrunk = copy.deepcopy(mini_doc)
+        renamed = shrunk["results"].pop()
+        renamed = dict(renamed, workload="brand_new")
+        current = copy.deepcopy(mini_doc)
+        current["results"].append(renamed)
+        report = compare(shrunk, current)
+        statuses = {(row["workload"], row["backend"]): row["status"]
+                    for row in report["rows"]}
+        assert statuses[("brand_new", "pvm")] == "new"
+        assert "ok" in statuses.values() or not report["regressions"]
+
+    def test_cli_gate_exits_nonzero(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        document = record(current_path, workloads=["pageout"],
+                          backends=["pvm"], repeats=1)
+        doctored = copy.deepcopy(document)
+        for cell in doctored["results"]:
+            cell["wall_ms"] /= 2.0
+        baseline_path.write_text(json.dumps(doctored))
+        code = main(["bench", "--compare", str(baseline_path),
+                     "--current", str(current_path)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # The same comparison passes at a forgiving threshold.
+        assert main(["bench", "--compare", str(baseline_path),
+                     "--current", str(current_path),
+                     "--threshold", "4.0"]) == 0
+
+    def test_cli_record_writes_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(["bench", "--record", "--out", str(out),
+                     "--workloads", "pageout", "--backends", "pvm",
+                     "--repeats", "1"])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert validate(document, BENCH_RESULT_SCHEMA) == []
+
+    def test_cli_without_action_errors(self, capsys):
+        assert main(["bench"]) == 2

@@ -1,9 +1,11 @@
 """The layer contract (docs/ARCHITECTURE.md), enforced statically.
 
 Backends (repro.pvm / repro.mach / repro.minimal) may import
-repro.hardware only through repro.pvm.hw_interface, and repro.engine
-imports neither hardware nor any backend.  The checker must both pass
-on the real tree and demonstrably fail on a deliberately-introduced
+repro.hardware only through repro.pvm.hw_interface, repro.engine
+imports neither hardware nor any backend, and repro.obs (metrics,
+spans, trace export) imports neither either — instrumentation is
+called into, never calls down.  The checker must both pass on the
+real tree and demonstrably fail on a deliberately-introduced
 violation — a green light from a checker that can't turn red proves
 nothing.
 """
@@ -74,6 +76,20 @@ class TestDetectsViolations:
         violations = check_layers(tmp_path)
         assert [(m, i) for m, i, _ in violations] == \
             [("repro.mach.relative", "repro.hardware")]
+
+    def test_obs_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "obs/cheat.py": "from repro.pvm.pvm import PagedVirtualMemory\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.obs.cheat"
+        assert "repro.obs" in violations[0][2]
+
+    def test_obs_importing_hardware_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "obs/cheat.py": "import repro.hardware.mmu\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
 
     def test_cli_reports_failure(self, tmp_path, capsys):
         _make_tree(tmp_path, {

@@ -67,6 +67,77 @@ class TestRegistry:
         assert registry.counter_values() == {"theirs": 1}
 
 
+class TestLabeledSeries:
+    def test_series_name_sorts_label_keys(self):
+        from repro.obs.metrics import series_name, split_series
+        series = series_name("fault.write", {"stage": "resolve",
+                                             "backend": "pvm"})
+        assert series == "fault.write{backend=pvm,stage=resolve}"
+        # Whatever order the call site wrote, one storage key results.
+        assert series == series_name("fault.write",
+                                     {"backend": "pvm", "stage": "resolve"})
+        assert split_series(series) == (
+            "fault.write", {"backend": "pvm", "stage": "resolve"})
+        assert split_series("plain") == ("plain", {})
+
+    def test_labeled_inc_maintains_the_rollup(self):
+        registry = MetricsRegistry()
+        registry.inc("fault.write", 2, labels={"backend": "pvm"})
+        registry.inc("fault.write", 3, labels={"backend": "mach-shadow"})
+        registry.inc("fault.write")            # plain increments still work
+        assert registry.counter_value("fault.write") == 6
+        assert registry.counter_value("fault.write",
+                                      labels={"backend": "pvm"}) == 2
+        assert registry.labeled_counters("fault.write") == {
+            "fault.write{backend=pvm}": 2,
+            "fault.write{backend=mach-shadow}": 3,
+        }
+
+    def test_precomputed_series_key_rolls_up_too(self):
+        from repro.obs.metrics import series_name
+        registry = MetricsRegistry()
+        series = series_name("engine.stage.locate", {"backend": "pvm"})
+        registry.inc(series, 4)
+        assert registry.counter_value("engine.stage.locate") == 4
+        assert registry.counter_value(series) == 4
+
+    def test_dropping_one_labeled_series_subtracts_from_rollup(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2, labels={"k": "a"})
+        registry.inc("c", 3, labels={"k": "b"})
+        generation = registry.generation
+        registry.drop_counters(["c{k=a}"])
+        assert registry.generation == generation + 1
+        assert registry.counter_value("c") == 3       # still = sum remaining
+        assert registry.labeled_counters("c") == {"c{k=b}": 3}
+
+    def test_dropping_the_plain_name_takes_labeled_series_with_it(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2, labels={"k": "a"})
+        registry.inc("c", 3, labels={"k": "b"})
+        registry.inc("other")
+        registry.drop_counters(["c"])
+        assert registry.counter_value("c") == 0
+        assert registry.labeled_counters("c") == {}
+        assert registry.counter_value("other") == 1
+
+    def test_labeled_observe_feeds_both_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("depth", 2.0, labels={"backend": "pvm"})
+        registry.observe("depth", 4.0, labels={"backend": "mach-shadow"})
+        assert registry.histogram("depth").count == 2
+        assert registry.histogram("depth").mean == pytest.approx(3.0)
+        assert registry.histogram(
+            "depth", labels={"backend": "pvm"}).max == pytest.approx(2.0)
+
+    def test_labeled_gauges_have_no_rollup(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("occupancy", 5.0, labels={"port": "paged"})
+        assert registry.gauge_value("occupancy",
+                                    labels={"port": "paged"}) == 5.0
+        assert registry.gauge_value("occupancy") == 0.0
+
+
 class TestHistogram:
     def test_percentiles_interpolate(self):
         registry = MetricsRegistry()
@@ -94,6 +165,51 @@ class TestHistogram:
         summary = registry.histogram("h").summary()
         assert set(summary) == {"count", "min", "max", "mean",
                                 "p50", "p90", "p99"}
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = MetricsRegistry().histogram("empty")
+        for q in (0, 50, 100):
+            assert histogram.percentile(q) == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+    def test_single_sample_answers_every_percentile(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(7.0)
+        for q in (0, 1, 50, 99, 100):
+            assert histogram.percentile(q) == 7.0
+
+    def test_extremes_exact_after_reservoir_decimation(self):
+        # Push the extremes in early, then flood the reservoir: q=0 and
+        # q=100 must answer from the exact running min/max even if the
+        # decimating sample overwrote them.
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(-123.0)
+        histogram.observe(456.0)
+        for value in range(20000):
+            histogram.observe(50.0 + (value % 7))
+        assert histogram.percentile(0) == -123.0
+        assert histogram.percentile(100) == 456.0
+        assert histogram.min == -123.0
+        assert histogram.max == 456.0
+
+    def test_bounded_reservoir_is_deterministic(self):
+        # Same observation sequence -> bit-identical summaries; the
+        # round-robin decimation involves no randomness.
+        def fill():
+            histogram = MetricsRegistry().histogram("h")
+            for value in range(25000):
+                histogram.observe(float((value * 7919) % 1000))
+            return histogram
+        first, second = fill(), fill()
+        assert first.summary() == second.summary()
+        assert first.percentile(37.5) == second.percentile(37.5)
 
 
 # ---------------------------------------------------------------------------
@@ -237,6 +353,40 @@ class TestVmIntegration:
         assert counters["fault.write"] == 2        # probe counters
         assert "tlb.miss" in counters              # TLB statistics
 
+    def test_hot_paths_record_labeled_series_alongside_rollups(self):
+        vm = PagedVirtualMemory(memory_size=4 * MB, tlb_entries=16)
+        self._touch(vm)
+        counters = vm.registry.counter_values()
+        # Faults decompose by backend; the rollup equals the series sum.
+        assert counters["fault.write{backend=pvm}"] == 2
+        assert counters["fault.write"] == 2
+        # Pipeline stages decompose by backend too.
+        assert counters["engine.stage.locate{backend=pvm}"] == \
+            counters["engine.stage.locate"]
+        # MMU walk statistics decompose by port (via the labeled
+        # EventCounter view), TLB-style, in the same shared registry.
+        assert counters["mmu.walk_level1{port=paged}"] > 0
+        assert counters["mmu.walk_level1"] == \
+            counters["mmu.walk_level1{port=paged}"]
+        # Segment pull-ins decompose by segment name and access mode.
+        pull_series = vm.registry.labeled_counters("cache.pull_in")
+        assert sum(pull_series.values()) == counters["cache.pull_in"]
+        assert any("segment=w" in key for key in pull_series)
+
+    def test_labeled_rollups_keep_snapshot_schema_valid(self):
+        from repro.obs.schema import SNAPSHOT_SCHEMA, validate
+        vm = PagedVirtualMemory(memory_size=4 * MB, tlb_entries=16)
+        self._touch(vm)
+        assert validate(vm.metrics_snapshot(), SNAPSHOT_SCHEMA) == []
+
+    def test_mmu_port_stats_api_unchanged(self):
+        # Consumers keep reading port statistics by bare name; the
+        # labeled storage is invisible through EventCounter.get().
+        vm = PagedVirtualMemory(memory_size=4 * MB)
+        self._touch(vm)
+        assert vm.mmu.stats.get("walk_level1") == \
+            vm.registry.counter_value("mmu.walk_level1{port=paged}")
+
     def test_metrics_snapshot_carries_gauges_and_meta(self):
         vm = PagedVirtualMemory(memory_size=4 * MB, tlb_entries=16)
         self._touch(vm)
@@ -300,6 +450,66 @@ class TestVmStatResampling:
         vm.registry.reset()
         sample = stat.sample("fresh")
         assert all(delta >= 0 for delta in sample.deltas.values())
+
+    def test_labeled_series_drop_mid_interval_does_not_go_negative(
+            self, vm):
+        # Dropping one labeled series shrinks its rollup; the
+        # generation bump must force VmStat to resample rather than
+        # diff against the pre-drop baseline.
+        stat = VmStat(vm)
+        cache = vm.cache_create(ZeroFillProvider(), name="ld")
+        context = vm.context_create("ld")
+        context.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                              cache=cache, offset=0)
+        context.switch()
+        vm.user_write(context, 0x40000, b"x")
+        stat.sample("warm")
+        generation = vm.registry.generation
+        vm.registry.drop_counters(["fault.write{backend=pvm}"])
+        assert vm.registry.generation == generation + 1
+        vm.user_write(context, 0x40000 + PAGE, b"y")
+        sample = stat.sample("after-drop")
+        assert all(delta >= 0 for delta in sample.deltas.values())
+
+    def test_full_counter_drop_mid_interval_does_not_go_negative(
+            self, vm):
+        # Dropping the plain name takes every labeled series with it —
+        # the larger reset must be detected the same way.
+        stat = VmStat(vm)
+        cache = vm.cache_create(ZeroFillProvider(), name="fd")
+        context = vm.context_create("fd")
+        context.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                              cache=cache, offset=0)
+        context.switch()
+        vm.user_write(context, 0x40000, b"x")
+        stat.sample("warm")
+        vm.registry.drop_counters(["fault.write", "fault_dispatch"])
+        assert vm.registry.counter_value("fault.write") == 0
+        assert vm.registry.labeled_counters("fault.write") == {}
+        vm.user_write(context, 0x40000 + PAGE, b"y")
+        sample = stat.sample("after-drop")
+        assert all(delta >= 0 for delta in sample.deltas.values())
+
+
+class TestWallStamps:
+    def test_spans_carry_wall_time_when_traced(self, vm):
+        sink = RingBufferSink()
+        vm.probe.set_sink(sink)
+        with vm.probe.span("op"):
+            vm.clock.advance(1.0)
+        (span,) = sink.by_name("op")
+        assert span.wall_start_s is not None
+        assert span.wall_end_s is not None
+        assert span.wall_ms >= 0.0
+        assert span.to_dict()["wall_ms"] == span.wall_ms
+
+    def test_wall_time_never_touches_the_virtual_clock(self, vm):
+        sink = RingBufferSink()
+        vm.probe.set_sink(sink)
+        before = vm.clock.now()
+        with vm.probe.span("op"):
+            pass
+        assert vm.clock.now() == before
 
 
 # ---------------------------------------------------------------------------

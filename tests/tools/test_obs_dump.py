@@ -43,3 +43,68 @@ class TestObsDump:
     def test_checked_in_schema_matches_source(self):
         assert json.loads(SCHEMA_FILE.read_text()) == json.loads(
             json.dumps(SNAPSHOT_SCHEMA))
+
+
+class TestObsDumpWorkloads:
+    def test_named_bench_workload_runs(self, capsys):
+        assert main(["obs-dump", "--workload", "pageout"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert validate(snapshot, SNAPSHOT_SCHEMA) == []
+        # The sink attaches after setup, so the snapshot covers the
+        # measured body: the pageout workload's evictions.
+        assert snapshot["counters"]["pageout.evicted"] == 32
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["obs-dump", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_workload_backend_mismatch_rejected(self, capsys):
+        assert main(["obs-dump", "--workload", "dsm_ping_pong",
+                     "--backend", "minimal"]) == 2
+        assert "does not run on" in capsys.readouterr().err
+
+
+class TestObsDumpTraceExport:
+    def test_trace_out_round_trips_and_preserves_nesting(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["obs-dump", "--trace-out", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        virtual = [event for event in events
+                   if event.get("pid") == 1 and event["ph"] in ("B", "E")]
+        assert virtual, "no duration events exported"
+        # B/E pairs balance, and args carry the span identity the
+        # JSONL sink exposes (id / parent / depth / events).
+        depth = 0
+        for event in virtual:
+            depth += 1 if event["ph"] == "B" else -1
+            assert depth >= 0
+        assert depth == 0
+        by_name = {}
+        for event in virtual:
+            if event["ph"] == "B":
+                by_name.setdefault(event["name"], event)
+        fault = by_name["fault.resolve"]
+        stage = by_name["engine.stage.materialize"]
+        assert stage["args"]["parent"] == fault["args"]["id"]
+        assert stage["args"]["depth"] == fault["args"]["depth"] + 1
+        assert fault["args"]["event.fault_dispatch"] >= 1
+
+    def test_stacks_out_writes_weighted_paths(self, tmp_path):
+        stacks_path = tmp_path / "stacks.txt"
+        assert main(["obs-dump", "--stacks-out", str(stacks_path)]) == 0
+        lines = stacks_path.read_text().splitlines()
+        assert lines
+        assert any(line.startswith("fault.resolve;engine.stage.")
+                   for line in lines)
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) >= 0
+
+    def test_default_dump_unchanged_by_new_flags(self, capsys):
+        # No --workload/--trace-out/--stacks-out: byte-identical
+        # canonical behavior (deterministic virtual clock).
+        assert main(["obs-dump"]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs-dump"]) == 0
+        assert capsys.readouterr().out == first
