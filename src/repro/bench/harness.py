@@ -189,6 +189,60 @@ def _dsm_body(state: dict) -> None:
         site_a.read(0, 1)
 
 
+def _segment_scan_setup(backend: str) -> dict:
+    from repro.segments.mem_mapper import MemoryMapper
+
+    state = _nucleus_state(backend)
+    nucleus = state["nucleus"]
+    page_size = nucleus.vm.page_size
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    data = b"".join(bytes([index % 251 + 1]) * page_size
+                    for index in range(64))
+    state["capability"] = mapper.register(data)
+    state["cache"] = nucleus.segment_manager.bind(state["capability"])
+    return state
+
+
+def _segment_scan_body(state: dict) -> None:
+    # Sequential scan of a 64-page mapped segment, 8 pages per read:
+    # the batched MapperProvider turns each read into a single IPC
+    # round-trip to the mapper instead of one per page.
+    cache = state["cache"]
+    page_size = state["vm"].page_size
+    for index in range(0, 64, 8):
+        cache.read(index * page_size, 8 * page_size)
+
+
+def _writeback_storm_setup(backend: str) -> dict:
+    from repro.cache.writeback import WritebackDaemon
+
+    state = _nucleus_state(backend)
+    nucleus = state["nucleus"]
+    vm = nucleus.vm
+    cache = nucleus.segment_manager.create_temporary("storm-data")
+    for index in range(96):
+        vm.cache_write(cache, index * vm.page_size,
+                       bytes([index % 250 + 1]) * 64)
+    state["cache"] = cache
+    state["daemon"] = WritebackDaemon(vm, age_threshold=2, batch_limit=16)
+    return state
+
+
+def _writeback_storm_body(state: dict) -> None:
+    # Age and clean a 96-page dirty set in batches, re-dirtying a
+    # stripe midway — the write-back daemon's steady-state pattern;
+    # contiguous dirty pages coalesce into ranged pushOut calls.
+    vm, cache, daemon = state["vm"], state["cache"], state["daemon"]
+    page_size = vm.page_size
+    for _ in range(4):
+        daemon.tick()
+    for index in range(0, 96, 4):
+        vm.cache_write(cache, index * page_size, b"\xAA" * 16)
+    for _ in range(8):
+        daemon.tick()
+
+
 #: The named suite, in recording order.
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload for workload in (
@@ -210,6 +264,15 @@ WORKLOADS: Dict[str, Workload] = {
         Workload("dsm_ping_pong",
                  "two sites ping-pong writes on one coherent page",
                  ("pvm",), _dsm_setup, _dsm_body),
+        Workload("segment_scan",
+                 "sequential read of a 64-page mapped segment, "
+                 "8 pages per batched pullIn",
+                 BACKENDS, _segment_scan_setup, _segment_scan_body),
+        Workload("writeback_storm",
+                 "write-back daemon cleans a 96-page dirty set "
+                 "with mid-storm re-dirtying",
+                 ("pvm", "mach"), _writeback_storm_setup,
+                 _writeback_storm_body),
     )
 }
 

@@ -1,0 +1,63 @@
+"""The unified segment-cache subsystem (paper section 4, "one cache").
+
+The paper's third headline contribution is a *unified cache*: the same
+local caches serve mapped access and explicit read/write, with data
+management delegated to external mappers through upcalls.  This
+package is that subsystem factored out of the backends:
+
+* :mod:`repro.cache.descriptor` — real page descriptors (Figure 2);
+* :mod:`repro.cache.residency` — the shared residency index: segment
+  -> resident page descriptors, dirty/referenced bits, pin counts;
+* :mod:`repro.cache.eviction` — pluggable eviction policies (clock,
+  LRU, FIFO) behind one protocol;
+* :mod:`repro.cache.engine` — the pageout/writeback engine: victim
+  selection, range-coalesced pushOut, pullIn charging, `cache.*`
+  metrics;
+* :mod:`repro.cache.writeback` — the asynchronous dirty-page daemon;
+* :mod:`repro.cache.provider` — the Table 3 upcall interface
+  (pullIn / getWriteAccess / pushOut / segmentCreate);
+* :mod:`repro.cache.mapper` — :class:`BaseMapper`, the one store
+  primitive (`read_range` / `write_range`) every mapper implements;
+* :mod:`repro.cache.store` — a sparse byte-range store shared by the
+  swap-like backing implementations.
+
+Layer contract (rule 4, ``repro.tools.check_layers``): this package
+imports neither the backends (pvm/mach/minimal) nor ``repro.hardware``
+— backends call *into* it and supply the machine-dependent mechanics
+(shootdown, frame free) through narrow callbacks.
+"""
+
+from repro.cache.descriptor import RealPageDescriptor
+from repro.cache.engine import CacheEngine
+from repro.cache.eviction import (
+    EVICTION_POLICIES,
+    ClockPolicy,
+    EvictionPolicy,
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    SecondChancePolicy,
+)
+from repro.cache.mapper import BaseMapper
+from repro.cache.provider import SegmentProvider, ZeroFillProvider
+from repro.cache.residency import ResidencyIndex
+from repro.cache.store import SparseStore
+from repro.cache.writeback import WritebackDaemon
+
+__all__ = [
+    "BaseMapper",
+    "CacheEngine",
+    "ClockPolicy",
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "LruPolicy",
+    "RealPageDescriptor",
+    "ReplacementPolicy",
+    "ResidencyIndex",
+    "SecondChancePolicy",
+    "SegmentProvider",
+    "SparseStore",
+    "WritebackDaemon",
+    "ZeroFillProvider",
+]

@@ -1,0 +1,125 @@
+"""Table 3: upcalls from the memory manager to segment managers.
+
+The memory manager performs *data management policy* (page-in /
+page-out decisions) but never implements segments itself: when it needs
+data it upcalls ``pullIn`` on the segment, and the segment
+implementation provides the data with the ``fillUp`` downcall; when it
+needs to save data it upcalls ``pushOut`` and the segment fetches the
+bytes with ``copyBack`` / ``moveBack`` (section 3.3.3).
+
+Both upcalls are *ranged*: ``size`` may span many pages.  A provider
+that can service a multi-page range in one backing-store operation
+declares ``batched = True`` and the cache engine will coalesce
+adjacent pages into a single upcall; the engine still charges the
+per-page cost events itself, so batching changes the number of
+provider round-trips, never the accounted cost.
+"""
+
+from __future__ import annotations
+
+from repro.cache.store import SparseStore
+
+
+class SegmentProvider:
+    """The segment-side interface the memory manager upcalls into.
+
+    One provider instance stands behind each local cache.  In the full
+    Chorus configuration the provider is the Nucleus segment manager,
+    which forwards the upcalls as IPC to external mappers
+    (section 5.1.2); unit tests plug in simple in-process providers.
+    """
+
+    #: True when a single pull_in/push_out call may cover several pages
+    #: at once; the cache engine then coalesces adjacent pages into one
+    #: ranged upcall instead of one call per page.
+    batched = False
+
+    def pull_in(self, cache, offset: int, size: int, access_mode) -> None:
+        """Read data of ``[offset, offset+size)`` into *cache*.
+
+        The implementation must deliver the bytes by calling
+        ``cache.fill_up(offset, data)`` (Table 4), either before
+        returning (synchronous mapper) or later from another thread
+        (asynchronous mapper) — concurrent accesses sleep on the
+        synchronization page stub until then.
+        """
+        raise NotImplementedError
+
+    def get_write_access(self, cache, offset: int, size: int) -> None:
+        """Request write access to data previously pulled read-only.
+
+        Default: grant silently.  Distributed-coherence providers
+        override this to invalidate other sites' caches first.
+        """
+
+    def push_out(self, cache, offset: int, size: int) -> None:
+        """Save data of ``[offset, offset+size)`` from *cache*.
+
+        The implementation must collect the bytes with
+        ``cache.copy_back(offset, size)`` (or ``move_back``) and write
+        them to the segment's backing store.
+        """
+        raise NotImplementedError
+
+    def segment_create(self, cache) -> object:
+        """Adopt a cache created unilaterally by the memory manager.
+
+        The MM creates caches on its own — e.g. history objects
+        (section 4.2) — and declares them to the upper layer with this
+        upcall "so that [they] can be swapped out".  Returns an opaque
+        segment identifier.
+        """
+        raise NotImplementedError
+
+
+class ZeroFillProvider(SegmentProvider):
+    """Provider for anonymous (temporary) segments: zero-filled pages.
+
+    ``pull_in`` delivers zeroes; ``push_out`` drops the data unless a
+    *swap store* was attached, in which case pages survive eviction.
+    The Nucleus segment manager attaches swap on the first pushOut
+    (section 5.1.2, temporary local caches).
+
+    Swap is a :class:`repro.cache.store.SparseStore` per cache, so a
+    ranged pushOut of any size round-trips correctly; on pullIn the
+    store's extents split the range into stored runs (``fill_up``,
+    charged as data copies) and holes (``fill_zero``, charged as
+    bzero), keeping the cost accounting identical to page-at-a-time
+    operation.
+    """
+
+    batched = True
+
+    #: Store chunk size: any power of two no larger than the smallest
+    #: supported page keeps extents page-accurate, because pushOut only
+    #: ever writes whole pages.
+    CHUNK = 1024
+
+    def __init__(self):
+        self._swap: dict = {}
+        self._next_id = 1
+
+    def _store(self, cache) -> SparseStore:
+        store = self._swap.get(id(cache))
+        if store is None:
+            store = self._swap[id(cache)] = SparseStore(self.CHUNK)
+        return store
+
+    def pull_in(self, cache, offset: int, size: int, access_mode) -> None:
+        store = self._swap.get(id(cache))
+        if store is None:
+            cache.fill_zero(offset, size)
+            return
+        for run_offset, run_size, stored in store.extents(offset, size):
+            if stored:
+                cache.fill_up(run_offset, store.read(run_offset, run_size))
+            else:
+                cache.fill_zero(run_offset, run_size)
+
+    def push_out(self, cache, offset: int, size: int) -> None:
+        self._store(cache).write(offset, cache.copy_back(offset, size))
+
+    def segment_create(self, cache) -> object:
+        segment_id = f"anon-{self._next_id}"
+        self._next_id += 1
+        return segment_id

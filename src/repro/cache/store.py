@@ -1,0 +1,111 @@
+"""A sparse byte-range store: the one backing-store data structure.
+
+Every swap-like backing implementation used to keep its own page-keyed
+dict — and each of those dicts silently lost data if a pushOut ever
+spanned more than one page (a range write was stored under its start
+offset only).  :class:`SparseStore` replaces them with a chunked sparse
+byte array: writes of any size land correctly, holes read as zeroes,
+and ``extents`` reports which parts of a range hold data — which lets
+a provider fill stored bytes with data and unstored bytes with zeroes,
+preserving the per-page cost accounting (bzero vs bcopy) exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class SparseStore:
+    """Sparse byte storage with zero-filled holes.
+
+    Data lives in fixed-size chunks allocated on first write; a chunk
+    is "present" even if only one byte of it was written, so extent
+    granularity equals the chunk size.  Use a chunk size equal to the
+    system page size to get page-granular extents.
+    """
+
+    def __init__(self, chunk_size: int = 4096):
+        if chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
+        self.chunk_size = chunk_size
+        self._chunks: Dict[int, bytearray] = {}
+        #: high-water mark of written bytes (the store's logical size).
+        self.size = 0
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store *data* at *offset*, overwriting any previous bytes."""
+        if offset < 0:
+            raise ValueError("negative store offset")
+        position = offset
+        index = 0
+        end = offset + len(data)
+        while position < end:
+            base = position - (position % self.chunk_size)
+            in_chunk = position - base
+            span = min(self.chunk_size - in_chunk, end - position)
+            chunk = self._chunks.get(base)
+            if chunk is None:
+                chunk = self._chunks[base] = bytearray(self.chunk_size)
+            chunk[in_chunk:in_chunk + span] = data[index:index + span]
+            position += span
+            index += span
+        self.size = max(self.size, end)
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read *size* bytes at *offset*; holes come back as zeroes."""
+        if offset < 0 or size < 0:
+            raise ValueError("negative store read bounds")
+        parts: List[bytes] = []
+        position = offset
+        end = offset + size
+        while position < end:
+            base = position - (position % self.chunk_size)
+            in_chunk = position - base
+            span = min(self.chunk_size - in_chunk, end - position)
+            chunk = self._chunks.get(base)
+            if chunk is None:
+                parts.append(bytes(span))
+            else:
+                parts.append(bytes(chunk[in_chunk:in_chunk + span]))
+            position += span
+        return b"".join(parts)
+
+    def extents(self, offset: int, size: int
+                ) -> Iterator[Tuple[int, int, bool]]:
+        """Yield maximal ``(offset, size, stored)`` runs covering the
+        range — chunk-granular, in ascending order."""
+        if size <= 0:
+            return
+        position = offset
+        end = offset + size
+        run_start = position
+        run_stored = None
+        while position < end:
+            base = position - (position % self.chunk_size)
+            span = min(self.chunk_size - (position - base), end - position)
+            stored = base in self._chunks
+            if run_stored is None:
+                run_stored = stored
+            elif stored != run_stored:
+                yield run_start, position - run_start, run_stored
+                run_start, run_stored = position, stored
+            position += span
+        yield run_start, end - run_start, bool(run_stored)
+
+    def has_data(self, offset: int, size: int) -> bool:
+        """True when any byte of the range was ever written."""
+        return any(stored for _, _, stored in self.extents(offset, size))
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of chunk storage currently allocated."""
+        return len(self._chunks) * self.chunk_size
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._chunks.clear()
+        self.size = 0
+
+    def __repr__(self) -> str:
+        return (f"SparseStore({len(self._chunks)} chunks x "
+                f"{self.chunk_size}B, size={self.size})")

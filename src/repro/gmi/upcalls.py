@@ -1,89 +1,14 @@
 """Table 3: upcalls from the memory manager to segment managers.
 
-The memory manager performs *data management policy* (page-in /
-page-out decisions) but never implements segments itself: when it needs
-data it upcalls ``pullIn`` on the segment, and the segment
-implementation provides the data with the ``fillUp`` downcall; when it
-needs to save data it upcalls ``pushOut`` and the segment fetches the
-bytes with ``copyBack`` / ``moveBack`` (section 3.3.3).
+Compatibility shim: the provider interface moved to
+:mod:`repro.cache.provider` when the cache subsystem was factored out
+of the backends (the upcalls are cache machinery — the GMI merely
+names them).  The historical import path keeps working for the many
+existing users.
 """
 
 from __future__ import annotations
 
-from repro.gmi.types import AccessMode
+from repro.cache.provider import SegmentProvider, ZeroFillProvider
 
-
-class SegmentProvider:
-    """The segment-side interface the memory manager upcalls into.
-
-    One provider instance stands behind each local cache.  In the full
-    Chorus configuration the provider is the Nucleus segment manager,
-    which forwards the upcalls as IPC to external mappers
-    (section 5.1.2); unit tests plug in simple in-process providers.
-    """
-
-    def pull_in(self, cache, offset: int, size: int, access_mode: AccessMode) -> None:
-        """Read data of ``[offset, offset+size)`` into *cache*.
-
-        The implementation must deliver the bytes by calling
-        ``cache.fill_up(offset, data)`` (Table 4), either before
-        returning (synchronous mapper) or later from another thread
-        (asynchronous mapper) — concurrent accesses sleep on the
-        synchronization page stub until then.
-        """
-        raise NotImplementedError
-
-    def get_write_access(self, cache, offset: int, size: int) -> None:
-        """Request write access to data previously pulled read-only.
-
-        Default: grant silently.  Distributed-coherence providers
-        override this to invalidate other sites' caches first.
-        """
-
-    def push_out(self, cache, offset: int, size: int) -> None:
-        """Save data of ``[offset, offset+size)`` from *cache*.
-
-        The implementation must collect the bytes with
-        ``cache.copy_back(offset, size)`` (or ``move_back``) and write
-        them to the segment's backing store.
-        """
-        raise NotImplementedError
-
-    def segment_create(self, cache) -> object:
-        """Adopt a cache created unilaterally by the memory manager.
-
-        The MM creates caches on its own — e.g. history objects
-        (section 4.2) — and declares them to the upper layer with this
-        upcall "so that [they] can be swapped out".  Returns an opaque
-        segment identifier.
-        """
-        raise NotImplementedError
-
-
-class ZeroFillProvider(SegmentProvider):
-    """Provider for anonymous (temporary) segments: zero-filled pages.
-
-    ``pull_in`` delivers zeroes; ``push_out`` drops the data unless a
-    *swap store* was attached, in which case pages survive eviction.
-    The Nucleus segment manager attaches swap on the first pushOut
-    (section 5.1.2, temporary local caches).
-    """
-
-    def __init__(self):
-        self._swap: dict = {}
-        self._next_id = 1
-
-    def pull_in(self, cache, offset: int, size: int, access_mode: AccessMode) -> None:
-        data = self._swap.get((id(cache), offset))
-        if data is None:
-            cache.fill_zero(offset, size)
-        else:
-            cache.fill_up(offset, data[:size])
-
-    def push_out(self, cache, offset: int, size: int) -> None:
-        self._swap[(id(cache), offset)] = cache.copy_back(offset, size)
-
-    def segment_create(self, cache) -> object:
-        segment_id = f"anon-{self._next_id}"
-        self._next_id += 1
-        return segment_id
+__all__ = ["SegmentProvider", "ZeroFillProvider"]

@@ -63,11 +63,9 @@ class ShadowMixin:
             if page is None:
                 continue
             self._break_stubs(page)
-            del src.pages[offset]
             src.owned.discard(offset)
             self.global_map.remove(src, offset)
-            page.cache = original
-            original.pages[offset] = page
+            self.residency.rebind(page, original, offset)
             original.owned.add(offset)
             self.global_map.insert(original, offset, page)
             self.hw.downgrade_page(page)

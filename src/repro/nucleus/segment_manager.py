@@ -31,7 +31,15 @@ from repro.segments.capability import Capability
 
 
 class MapperProvider(SegmentProvider):
-    """Upcall adapter: GMI upcalls -> IPC requests to a mapper port."""
+    """Upcall adapter: GMI upcalls -> IPC requests to a mapper port.
+
+    ``batched``: a multi-page pullIn becomes *one* IPC round-trip to
+    the mapper instead of one per page — the dominant saving for
+    sequential segment scans (the cost model charges per page either
+    way; only the message count drops).
+    """
+
+    batched = True
 
     def __init__(self, manager: "SegmentManager", capability: Capability):
         self.manager = manager
@@ -67,6 +75,8 @@ class MapperProvider(SegmentProvider):
 
 class TemporaryProvider(SegmentProvider):
     """Temporary local caches: swap allocated on first pushOut."""
+
+    batched = True
 
     def __init__(self, manager: "SegmentManager"):
         self.manager = manager
@@ -168,9 +178,11 @@ class SegmentManager:
             self._discard(victim)
 
     def _discard(self, cache) -> None:
+        # Drain through the unified eviction path so retained-cache
+        # drops are visible in the ``cache.evict`` counters alongside
+        # pressure-driven eviction.
         self.stats["discards"] += 1
-        for offset in list(cache.resident_offsets()):
-            self.vm.cache_flush(cache, offset, self.vm.page_size, keep=False)
+        self.vm.cache_engine.drain(cache, reason="retained")
         cache.destroy()
 
     def drop_retained(self) -> int:

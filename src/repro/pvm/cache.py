@@ -58,8 +58,10 @@ class PvmCache(Cache):
         #: objects); they are declared upward via the segmentCreate upcall.
         self.is_history = is_history
         #: offset -> RealPageDescriptor for resident pages (Figure 2's
-        #: doubly-linked list, as a dict keyed by segment offset).
-        self.pages: dict = {}
+        #: doubly-linked list, as a dict keyed by segment offset).  The
+        #: dict is owned by the shared residency index: reads are local
+        #: probes, mutations funnel through the cache engine.
+        self.pages: dict = pvm.residency.adopt(cache_id)
         #: where to find pages this cache does not hold (section 4.2.4).
         self.parents: FragmentList[Link] = FragmentList()
         #: fragments whose writes must push pre-images to a history object.

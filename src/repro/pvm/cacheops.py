@@ -46,6 +46,14 @@ class CacheOpsMixin:
         """Read body; caller holds the manager lock."""
         if size < 0 or offset < 0:
             raise InvalidOperation("negative read bounds")
+        self._count_explicit_access(cache, offset, size)
+        start_page = offset - (offset % self.page_size)
+        if offset + size - start_page > self.page_size \
+                and getattr(cache.provider, "batched", False):
+            # Multi-page read: batch contiguous missing pages into
+            # ranged pullIns before the per-page copy loop.
+            self._prefetch_range(cache, start_page,
+                                 offset + size - start_page)
         parts = []
         position = offset
         end = offset + size
@@ -59,6 +67,20 @@ class CacheOpsMixin:
                 base + (position - page_offset), chunk))
             position += chunk
         return b"".join(parts)
+
+    def _count_explicit_access(self, cache: PvmCache, offset: int,
+                               size: int) -> None:
+        """Count `cache.hit` for the pages of an explicit access that
+        are already resident (misses surface as `cache.miss` from the
+        engine's pull path)."""
+        if size <= 0 or not self.probe.enabled:
+            return
+        hits = sum(
+            1 for page_offset in page_range(offset, size, self.page_size)
+            if page_offset in cache.pages
+        )
+        if hits:
+            self.probe.count("cache.hit", hits, segment=cache.name)
 
     def _page_for_explicit_read(self, cache: PvmCache,
                                 page_offset: int) -> RealPageDescriptor:
@@ -79,6 +101,7 @@ class CacheOpsMixin:
     def cache_write_locked(self, cache: PvmCache, offset: int,
                            data: bytes) -> None:
         """Write body; caller holds the manager lock."""
+        self._count_explicit_access(cache, offset, len(data))
         position = offset
         index = 0
         end = offset + len(data)
@@ -152,7 +175,6 @@ class CacheOpsMixin:
             page = RealPageDescriptor(cache, offset, frame,
                                       write_granted=zero)
             self.global_map.insert(cache, offset, page)
-        cache.pages[offset] = page
         cache.owned.add(offset)
         # If ancestor frames were being presented for this offset (a
         # spontaneous fill shadowing a parent), readers must refault.
@@ -165,7 +187,7 @@ class CacheOpsMixin:
                     and stub.src_offset == offset:
                 stub.src_page = page
                 page.cow_stubs.add(stub)
-        self._register_page(page)
+        self.cache_engine.insert(page)
 
     def cache_copy_back(self, cache: PvmCache, offset: int, size: int,
                         surrender: bool) -> bytes:
@@ -197,21 +219,38 @@ class CacheOpsMixin:
 
     def cache_flush(self, cache: PvmCache, offset: int, size: int,
                     keep: bool) -> None:
-        """Push dirty pages out; drop them unless *keep* (sync)."""
+        """Push dirty pages out; drop them unless *keep* (sync).
+
+        Adjacent dirty pages are written back in one ranged pushOut
+        (per-page costs unchanged; batched mappers see fewer calls).
+        """
         with self.lock:
-            for page_offset in page_range(offset, size, self.page_size):
-                page = cache.pages.get(page_offset)
-                if page is None:
+            resident = [
+                cache.pages[page_offset]
+                for page_offset in page_range(offset, size, self.page_size)
+                if page_offset in cache.pages
+            ]
+            run_start = run_pages = 0
+            for page in resident:
+                if page.dirty and run_pages \
+                        and page.offset == run_start \
+                        + run_pages * self.page_size:
+                    run_pages += 1
                     continue
-                if page.dirty:
-                    self.clock.charge(CostEvent.PUSH_OUT)
-                    cache.stats.push_outs += 1
-                    cache.provider.push_out(cache, page_offset,
-                                            self.page_size)
-                    page.dirty = False
-                if not keep and not page.pinned:
-                    self._detach_stubs_to_segment(page)
-                    self._drop_page(page, save=False)
+                if run_pages:
+                    self.cache_engine.push(cache, run_start,
+                                           run_pages * self.page_size,
+                                           reason="flush")
+                run_start, run_pages = page.offset, 1 if page.dirty else 0
+            if run_pages:
+                self.cache_engine.push(cache, run_start,
+                                       run_pages * self.page_size,
+                                       reason="flush")
+            if not keep:
+                for page in resident:
+                    if not page.pinned:
+                        self._detach_stubs_to_segment(page)
+                        self._drop_page(page, save=False)
 
     def cache_invalidate(self, cache: PvmCache, offset: int, size: int) -> None:
         """Drop cached data without saving it.
@@ -287,33 +326,73 @@ class CacheOpsMixin:
         asynchronous providers the caller sleeps on the stub until the
         fillUp arrives (section 4.1.2).
         """
-        condition = self.sync_factory.condition(self.lock)
-        stub = SyncStub(cache, offset, condition, access_mode=mode)
-        self.global_map.insert(cache, offset, stub)
-        self.clock.charge(CostEvent.PULL_IN)
-        cache.stats.pull_ins += 1
-        # Labeled: which segment is paying the upcalls, and for what
-        # access mode (rolls up into the plain `cache.pull_in` count).
-        self.probe.count("cache.pull_in", segment=cache.name,
-                         mode=mode.name.lower())
-        with self.probe.span("cache.pull_in") as span:
-            if span:
-                span.set(cache=cache.name, offset=offset,
-                         mode=mode.name.lower())
-            try:
-                cache.provider.pull_in(cache, offset, self.page_size, mode)
-            except BaseException:
-                # The mapper failed (e.g. out of frames during fillUp):
-                # never leave an unresolvable stub behind — sleepers
-                # would hang forever.
-                if self.global_map.lookup(cache, offset) is stub:
-                    self.global_map.remove(cache, offset)
+        self._pull_span(cache, offset, self.page_size, mode)
+
+    def _pull_span(self, cache: PvmCache, offset: int, size: int,
+                   mode: AccessMode) -> None:
+        """Stub every page of ``[offset, offset+size)`` and drive one
+        (possibly ranged) pullIn through the cache engine."""
+        stubs = []
+        for page_offset in page_range(offset, size, self.page_size):
+            condition = self.sync_factory.condition(self.lock)
+            stub = SyncStub(cache, page_offset, condition, access_mode=mode)
+            self.global_map.insert(cache, page_offset, stub)
+            stubs.append(stub)
+        try:
+            self.cache_engine.pull(cache, offset, size, mode)
+        except BaseException:
+            # The mapper failed (e.g. out of frames during fillUp):
+            # never leave an unresolvable stub behind — sleepers
+            # would hang forever.
+            for stub in stubs:
+                if self.global_map.lookup(cache, stub.offset) is stub:
+                    self.global_map.remove(cache, stub.offset)
                 stub.resolve()
-                raise
-            if not stub.done:
-                current = self.global_map.lookup(cache, offset)
-                if current is stub:
-                    self._wait_stub(stub)
+            raise
+        for stub in stubs:
+            if not stub.done \
+                    and self.global_map.lookup(cache, stub.offset) is stub:
+                self._wait_stub(stub)
+
+    def _prefetch_range(self, cache: PvmCache, offset: int,
+                        size: int) -> None:
+        """Pull a window resident ahead of use (willneed advice,
+        explicit-read batching).
+
+        Contiguous runs of pullable pages become one ranged pullIn
+        when the provider supports batching; everything else falls back
+        to the ordinary one-page resolution path.
+        """
+        batched = getattr(cache.provider, "batched", False)
+        run_start = run_end = None
+        for page_offset in page_range(offset, size, self.page_size):
+            pullable = (
+                batched
+                and self.global_map.lookup(cache, page_offset) is None
+                and (page_offset in cache.owned
+                     or cache.parents.find(page_offset) is None)
+            )
+            if pullable:
+                if run_start is None:
+                    run_start = run_end = page_offset
+                elif page_offset == run_end + self.page_size:
+                    run_end = page_offset
+                else:
+                    self._pull_span(cache, run_start,
+                                    run_end + self.page_size - run_start,
+                                    AccessMode.READ)
+                    run_start = run_end = page_offset
+            else:
+                if run_start is not None:
+                    self._pull_span(cache, run_start,
+                                    run_end + self.page_size - run_start,
+                                    AccessMode.READ)
+                    run_start = run_end = None
+                self._page_for_explicit_read(cache, page_offset)
+        if run_start is not None:
+            self._pull_span(cache, run_start,
+                            run_end + self.page_size - run_start,
+                            AccessMode.READ)
 
     def _wait_stub(self, stub: SyncStub) -> None:
         """Sleep until the in-transit page arrives."""

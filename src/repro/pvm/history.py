@@ -356,13 +356,12 @@ class HistoryMixin:
         self.memory.copy_frame(source.frame, frame)
         self.clock.charge(CostEvent.BCOPY_PAGE)
         page = RealPageDescriptor(cache, offset, frame)
-        cache.pages[offset] = page
         self.global_map.insert(cache, offset, page)
         cache.owned.add(offset)
         # Readers elsewhere may still map the ancestor's frame for this
         # (cache, offset): they must refault onto the private copy.
         self.hw.shootdown_served(cache, offset)
-        self._register_page(page)
+        self.cache_engine.insert(page)
         return page
 
     def _get_page_for_read_through_parent(self, cache: PvmCache, offset: int
@@ -401,10 +400,9 @@ class HistoryMixin:
         self.clock.charge(CostEvent.BCOPY_PAGE)
         page = RealPageDescriptor(history, history_offset, frame)
         page.dirty = True
-        history.pages[history_offset] = page
         self.global_map.insert(history, history_offset, page)
         history.owned.add(history_offset)
-        self._register_page(page)
+        self.cache_engine.insert(page)
         cache.stats.copy_faults += 1
 
     def _current_value_page(self, cache: PvmCache, offset: int
@@ -451,13 +449,10 @@ class HistoryMixin:
                     and src.guards.find(offset) is None:
                 # Re-assign the frame: no data movement at all.
                 self.hw.shootdown(page)
-                del src.pages[offset]
                 src.owned.discard(offset)
                 self.global_map.remove(src, offset)
-                page.cache = dst
-                page.offset = dst_page_offset
+                self.residency.rebind(page, dst, dst_page_offset)
                 page.dirty = True
-                dst.pages[dst_page_offset] = page
                 dst.owned.add(dst_page_offset)
                 self.global_map.insert(dst, dst_page_offset, page)
             else:
@@ -543,12 +538,9 @@ class HistoryMixin:
                 if page is None:
                     continue
                 self.hw.shootdown(page)
-                del parent.pages[parent_offset]
                 parent.owned.discard(parent_offset)
                 self.global_map.remove(parent, parent_offset)
-                page.cache = cache
-                page.offset = child_offset
-                cache.pages[child_offset] = page
+                self.residency.rebind(page, cache, child_offset)
                 cache.owned.add(child_offset)
                 self.global_map.insert(cache, child_offset, page)
                 self.clock.charge(self.MERGE_EVENT)

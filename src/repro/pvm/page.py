@@ -1,68 +1,25 @@
-"""Real page descriptors and the two stub kinds of the global map.
+"""The two stub kinds of the global map (plus the page descriptor).
 
 Figure 2 of the paper: a real page descriptor holds a back pointer to
-its cache descriptor and the page's offset in the segment.  A page in
-a cache's list "may be replaced by a synchronization page stub"
-(section 4.1.1); per-virtual-page deferred copy adds copy-on-write
-page stubs (section 4.3).
+its cache descriptor and the page's offset in the segment — that class
+now lives with the backend-agnostic cache subsystem
+(:mod:`repro.cache.descriptor`) and is re-exported here for the many
+existing importers.  A page in a cache's list "may be replaced by a
+synchronization page stub" (section 4.1.1); per-virtual-page deferred
+copy adds copy-on-write page stubs (section 4.3).  The stubs stay with
+the PVM: they are deferred-copy machinery, not cache state.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Optional
+
+from repro.cache.descriptor import RealPageDescriptor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.pvm.cache import PvmCache
 
-
-class RealPageDescriptor:
-    """One resident page: a frame holding data of (cache, offset)."""
-
-    __slots__ = (
-        "cache", "offset", "frame", "dirty", "pin_count",
-        "mappings", "cow_stubs", "referenced", "write_granted",
-    )
-
-    def __init__(self, cache: "PvmCache", offset: int, frame: int,
-                 write_granted: bool = True):
-        self.cache = cache
-        self.offset = offset
-        self.frame = frame
-        self.dirty = False
-        #: False when the data was pulled read-only: a write requires a
-        #: getWriteAccess upcall first (Table 3).
-        self.write_granted = write_granted
-        #: lockInMemory nesting depth; pinned pages are never evicted.
-        self.pin_count = 0
-        #: (space, page-aligned vaddr) pairs where this frame is mapped.
-        self.mappings: Set[Tuple[int, int]] = set()
-        #: CowStubs whose source is this page (threaded list of 4.3).
-        self.cow_stubs: Set["CowStub"] = set()
-        #: reference bit for the clock replacement algorithm.
-        self.referenced = True
-
-    @property
-    def pinned(self) -> bool:
-        """True while lockInMemory holds the page."""
-        return self.pin_count > 0
-
-    @property
-    def guarded(self) -> bool:
-        """True when writes to this page must first preserve the
-        original in the cache's history object."""
-        guard = self.cache.guards.find(self.offset)
-        return guard is not None
-
-    def __repr__(self) -> str:
-        flags = "".join([
-            "D" if self.dirty else "-",
-            "P" if self.pinned else "-",
-            "S" if self.cow_stubs else "-",
-        ])
-        return (
-            f"Page(cache={self.cache.name}, off={self.offset:#x}, "
-            f"frame={self.frame}, {flags})"
-        )
+__all__ = ["CowStub", "RealPageDescriptor", "SyncStub"]
 
 
 class SyncStub:

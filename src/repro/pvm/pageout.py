@@ -1,16 +1,15 @@
-"""Page replacement: a second-chance (clock) reclaimer.
+"""Frame allocation with reclamation, and the backend eviction hooks.
 
 The paper delegates page-out *policy* to the memory manager (section
-3.3.3): when real memory runs out, the PVM picks victims among
-unpinned resident pages (FIFO with a reference-bit second chance),
-pushes dirty ones out through their segment's provider, re-targets any
-per-virtual-page stubs threaded on the victim, shoots down its
-translations and frees the frame.
+3.3.3).  Victim selection and the writeback of dirty victims live in
+the backend-agnostic cache engine (:mod:`repro.cache.engine`); what
+stays here is the machine-dependent mechanics the engine calls back
+into — translation shootdown, per-virtual-page stub re-targeting and
+frame release — plus frame allocation, which triggers reclamation when
+RAM runs out.
 """
 
 from __future__ import annotations
-
-from collections import OrderedDict
 
 from repro.errors import OutOfFrames
 from repro.kernel.clock import CostEvent
@@ -18,7 +17,7 @@ from repro.pvm.page import RealPageDescriptor
 
 
 class PageoutMixin:
-    """Frame allocation with reclamation, grafted onto the PVM."""
+    """Frame allocation and eviction mechanics, grafted onto the PVM."""
 
     def _allocate_frame(self) -> int:
         """Allocate a frame, reclaiming victims when RAM is full."""
@@ -31,60 +30,33 @@ class PageoutMixin:
         self.clock.charge(CostEvent.FRAME_ALLOC)
         return frame
 
-    def _register_page(self, page: RealPageDescriptor) -> None:
-        """Enter a new resident page into the replacement policy."""
-        self.policy.register(page)
-
-    def _unregister_page(self, page: RealPageDescriptor) -> None:
-        self.policy.unregister(page)
-
     @property
     def resident_page_count(self) -> int:
-        """Pages currently resident under the replacement policy."""
-        return len(self.policy)
+        """Pages currently resident under the cache engine."""
+        return len(self.residency)
 
     def reclaim_frames(self, target: int) -> int:
         """Evict up to *target* pages; return how many frames freed."""
-        freed = 0
-        with self.probe.span("pageout.scan") as span:
-            for page in self.policy.victims():
-                if freed >= target:
-                    break
-                self._evict_page(page)
-                freed += 1
-            if span:
-                span.set(target=target, freed=freed)
-        if freed:
-            self.probe.count("pageout.evicted", freed,
-                             backend=self.name, policy=self.policy.name)
-        return freed
+        return self.cache_engine.reclaim(target)
 
-    def _evict_page(self, page: RealPageDescriptor) -> None:
-        """Evict one victim page (must be unpinned)."""
-        cache = page.cache
-        if page.dirty:
-            self.clock.charge(CostEvent.PUSH_OUT)
-            cache.stats.push_outs += 1
-            self.probe.count("pageout.dirty_pushed")
-            cache.provider.push_out(cache, page.offset, self.page_size)
-            page.dirty = False
-        # Stubs survive the eviction: they re-target to (cache, offset);
-        # the segment now holds the value they reference.
+    def discard_page(self, page: RealPageDescriptor) -> None:
+        """Evict one (already written-back) page: the engine's hook.
+
+        Stubs survive the eviction: they re-target to (cache, offset);
+        the segment now holds the value they reference.
+        """
         self._detach_stubs_to_segment(page)
         self._drop_page(page, save=False)
 
-    def _drop_page(self, page: RealPageDescriptor, save: bool) -> None:
+    def _drop_page(self, page: RealPageDescriptor,
+                   save: bool = False) -> None:
         """Remove a page from the cache, the global map and RAM."""
         if save and page.dirty:
-            self.clock.charge(CostEvent.PUSH_OUT)
-            page.cache.stats.push_outs += 1
-            page.cache.provider.push_out(page.cache, page.offset,
-                                         self.page_size)
-            page.dirty = False
+            self.cache_engine.push(page.cache, page.offset,
+                                   self.page_size, reason="evict")
         self.hw.shootdown(page)
-        page.cache.pages.pop(page.offset, None)
+        self.cache_engine.forget(page)
         self.global_map.discard(page.cache, page.offset)
-        self._unregister_page(page)
         if self.memory.is_allocated(page.frame):
             self.memory.free_frame(page.frame)
             self.clock.charge(CostEvent.FRAME_FREE)

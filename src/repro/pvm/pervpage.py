@@ -69,13 +69,12 @@ class PerPageMixin:
             stub.unthread()
             page = RealPageDescriptor(cache, offset, frame)
             page.dirty = True
-            cache.pages[offset] = page
             cache.owned.add(offset)
             self.global_map.replace(cache, offset, page)
             # Readers that mapped the stub's source frame on this cache's
             # behalf must refault onto the private copy.
             self.hw.shootdown_served(cache, offset)
-            self._register_page(page)
+            self.cache_engine.insert(page)
             cache.stats.copy_faults += 1
             self.probe.count("cow.materialized", backend=self.name,
                              kind="stub")

@@ -1,142 +1,28 @@
-"""Pluggable page-replacement policies.
+"""Pluggable page-replacement policies (compatibility shim).
 
-The paper assigns page-out *policy* to the memory manager (section
-3.3.3) without prescribing one.  The PVM default is second-chance
-(clock); this module makes the policy a replaceable strategy object so
-the choice itself can be measured (benchmarks/test_ablation_policies).
-
-A policy sees three events — page registered, page referenced (the
-reference bit, maintained by the fault/lookup paths), page dropped —
-and must produce eviction victims on demand.  Pinned pages are never
-victims.
+The policies moved to :mod:`repro.cache.eviction` when eviction became
+part of the backend-agnostic cache subsystem; this module keeps the
+historical import path and the original ``POLICIES`` registry (by
+policy name — the ``"clock"`` alias lives only in
+``repro.cache.EVICTION_POLICIES``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterator, Optional
+from repro.cache.eviction import (
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    SecondChancePolicy,
+)
 
-from repro.pvm.page import RealPageDescriptor
-
-
-class ReplacementPolicy:
-    """Strategy interface for victim selection."""
-
-    name = "abstract"
-
-    def register(self, page: RealPageDescriptor) -> None:
-        """A page became resident."""
-        raise NotImplementedError
-
-    def unregister(self, page: RealPageDescriptor) -> None:
-        """A page left residency (evicted or destroyed)."""
-        raise NotImplementedError
-
-    def victims(self) -> Iterator[RealPageDescriptor]:
-        """Yield eviction candidates, best-first; the caller stops
-        pulling once it has freed enough.  Yielded pages are still
-        registered; the caller unregisters what it actually evicts."""
-        raise NotImplementedError
-
-    def __len__(self) -> int:
-        raise NotImplementedError
-
-
-class FifoPolicy(ReplacementPolicy):
-    """Evict in arrival order, ignoring references."""
-
-    name = "fifo"
-
-    def __init__(self):
-        self._queue: "OrderedDict[RealPageDescriptor, None]" = OrderedDict()
-
-    def register(self, page: RealPageDescriptor) -> None:
-        self._queue[page] = None
-
-    def unregister(self, page: RealPageDescriptor) -> None:
-        self._queue.pop(page, None)
-
-    def victims(self) -> Iterator[RealPageDescriptor]:
-        for page in list(self._queue):
-            if not page.pinned:
-                yield page
-
-    def __len__(self) -> int:
-        return len(self._queue)
-
-
-class SecondChancePolicy(ReplacementPolicy):
-    """FIFO with a reference bit: the PVM default (a clock sweep)."""
-
-    name = "second-chance"
-
-    def __init__(self):
-        self._queue: "OrderedDict[RealPageDescriptor, None]" = OrderedDict()
-
-    def register(self, page: RealPageDescriptor) -> None:
-        self._queue[page] = None
-
-    def unregister(self, page: RealPageDescriptor) -> None:
-        self._queue.pop(page, None)
-
-    def victims(self) -> Iterator[RealPageDescriptor]:
-        budget = 2 * len(self._queue)
-        scanned = 0
-        while self._queue and scanned < budget:
-            page, _ = self._queue.popitem(last=False)
-            scanned += 1
-            if page.pinned:
-                self._queue[page] = None
-                continue
-            if page.referenced:
-                page.referenced = False
-                self._queue[page] = None
-                continue
-            # Re-register before handing out: the caller's eviction
-            # path unregisters; a declined candidate stays queued.
-            self._queue[page] = None
-            yield page
-
-    def __len__(self) -> int:
-        return len(self._queue)
-
-
-class LruPolicy(ReplacementPolicy):
-    """Approximate LRU: references move pages to the tail.
-
-    True LRU needs a hook on every access; we approximate by consuming
-    the reference bit on each victim scan (pages referenced since the
-    last scan are refreshed), which converges to LRU ordering under
-    repeated scans while keeping the same per-access cost as the
-    others.
-    """
-
-    name = "lru"
-
-    def __init__(self):
-        self._queue: "OrderedDict[RealPageDescriptor, None]" = OrderedDict()
-
-    def register(self, page: RealPageDescriptor) -> None:
-        self._queue[page] = None
-
-    def unregister(self, page: RealPageDescriptor) -> None:
-        self._queue.pop(page, None)
-
-    def _refresh(self) -> None:
-        for page in list(self._queue):
-            if page.referenced:
-                page.referenced = False
-                self._queue.move_to_end(page, last=True)
-
-    def victims(self) -> Iterator[RealPageDescriptor]:
-        self._refresh()
-        for page in list(self._queue):
-            if not page.pinned:
-                yield page
-
-    def __len__(self) -> int:
-        return len(self._queue)
-
+__all__ = [
+    "FifoPolicy",
+    "LruPolicy",
+    "POLICIES",
+    "ReplacementPolicy",
+    "SecondChancePolicy",
+]
 
 POLICIES = {
     policy.name: policy

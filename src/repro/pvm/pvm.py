@@ -14,6 +14,8 @@ import warnings
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.cache.engine import CacheEngine
+from repro.cache.eviction import EvictionPolicy
 from repro.engine import FaultPipeline
 from repro.errors import InvalidOperation, StaleObject
 from repro.gmi.interface import MemoryManager
@@ -114,11 +116,11 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         self._space_contexts: Dict[int, PvmContext] = {}
         self._caches: Dict[int, PvmCache] = {}
         self._next_cache_id = 1
-        #: replacement policy (second-chance clock by default).
-        if replacement_policy is None:
-            from repro.pvm.policies import SecondChancePolicy
-            replacement_policy = SecondChancePolicy()
-        self.policy = replacement_policy
+        #: the unified cache subsystem (repro.cache): shared residency
+        #: index, pluggable eviction policy (second-chance clock by
+        #: default) and the ranged pullIn/pushOut drivers.
+        self.cache_engine = CacheEngine(self, policy=replacement_policy)
+        self.residency = self.cache_engine.residency
         self.current_context: Optional[PvmContext] = None
 
     # ------------------------------------------------------------------
@@ -129,6 +131,15 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
     def page_size(self) -> int:
         """Page size in bytes (matches the simulated hardware)."""
         return self.memory.page_size
+
+    @property
+    def policy(self) -> EvictionPolicy:
+        """The eviction policy (a live view of the cache engine's)."""
+        return self.cache_engine.policy
+
+    @policy.setter
+    def policy(self, policy: EvictionPolicy) -> None:
+        self.cache_engine.set_policy(policy)
 
     @property
     def registry(self):
@@ -245,9 +256,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             region.advice = advice
             context._insert_region(region)
             if advice == "willneed":
-                for page_offset in range(offset, offset + size,
-                                         self.page_size):
-                    self._page_for_explicit_read(cache, page_offset)
+                self._prefetch_range(cache, offset, size)
             return region
 
     def region_destroy(self, region: PvmRegion) -> None:
@@ -394,6 +403,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         cache.guards.clear()
         cache.destroyed = True
         self._caches.pop(cache.cache_id, None)
+        self.residency.release(cache.cache_id)
 
     def _reap_if_dead(self, cache: PvmCache) -> None:
         """Cascade-release nodes whose last child disappeared.

@@ -1,70 +1,12 @@
-"""A write-back daemon: asynchronous dirty-page cleaning.
+"""A write-back daemon (compatibility shim).
 
-Without it, dirty pages are written back only at eviction time (or an
-explicit ``sync``), so a burst of evictions pays a burst of pushOuts
-at the worst moment — inside the fault path of whoever needed the
-frame.  The daemon ages dirty pages and pushes out those dirty for
-more than ``age_threshold`` ticks, bounding both the amount of dirty
-memory and the eviction-time work.
-
-Driven explicitly (``tick()``) or from a scheduler thread; there is no
-hidden concurrency, keeping runs deterministic.
+The daemon moved to :mod:`repro.cache.writeback` when the pageout /
+writeback engine became backend-agnostic; this module keeps the
+historical import path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from repro.cache.writeback import WritebackDaemon
 
-from repro.kernel.clock import CostEvent
-from repro.pvm.page import RealPageDescriptor
-
-
-class WritebackDaemon:
-    """Ages dirty pages; cleans the old ones in bounded batches."""
-
-    def __init__(self, vm, age_threshold: int = 2,
-                 batch_limit: int = 16):
-        self.vm = vm
-        self.age_threshold = age_threshold
-        self.batch_limit = batch_limit
-        self._ages: Dict[RealPageDescriptor, int] = {}
-        self.ticks = 0
-        self.pages_cleaned = 0
-
-    def tick(self) -> int:
-        """One aging pass; returns how many pages were cleaned."""
-        self.ticks += 1
-        cleaned = 0
-        seen = set()
-        with self.vm.lock:
-            for cache in self.vm.caches():
-                for page in list(cache.pages.values()):
-                    if not page.dirty:
-                        self._ages.pop(page, None)
-                        continue
-                    seen.add(page)
-                    age = self._ages.get(page, 0) + 1
-                    self._ages[page] = age
-                    if age >= self.age_threshold \
-                            and cleaned < self.batch_limit:
-                        self._clean(page)
-                        cleaned += 1
-            # Forget pages that disappeared (evicted / destroyed).
-            for page in [p for p in self._ages if p not in seen]:
-                self._ages.pop(page, None)
-        self.pages_cleaned += cleaned
-        return cleaned
-
-    def _clean(self, page: RealPageDescriptor) -> None:
-        cache = page.cache
-        self.vm.clock.charge(CostEvent.PUSH_OUT)
-        cache.stats.push_outs += 1
-        self.vm.probe.count("writeback.cleaned")
-        cache.provider.push_out(cache, page.offset, self.vm.page_size)
-        page.dirty = False
-        self._ages.pop(page, None)
-
-    @property
-    def dirty_tracked(self) -> int:
-        """Dirty pages currently being aged."""
-        return len(self._ages)
+__all__ = ["WritebackDaemon"]

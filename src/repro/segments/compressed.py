@@ -16,8 +16,7 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple
 
-from repro.gmi.types import AccessMode
-from repro.gmi.upcalls import SegmentProvider
+from repro.cache.provider import SegmentProvider
 from repro.kernel.clock import VirtualClock
 
 
@@ -54,8 +53,7 @@ class CompressedSwapProvider(SegmentProvider):
 
     # -- SegmentProvider ---------------------------------------------------------
 
-    def pull_in(self, cache, offset: int, size: int,
-                access_mode: AccessMode) -> None:
+    def pull_in(self, cache, offset: int, size: int, access_mode) -> None:
         blob = self._store.get((id(cache), offset))
         if blob is None:
             cache.fill_zero(offset, size)

@@ -5,6 +5,11 @@ per-segment block table; reads and writes pay the disk's latency
 model, so paging against "files" is visibly more expensive than
 against memory — which is what makes the segment-caching strategy of
 section 5.1.3 measurable.
+
+The partial-page read-modify-write lives in the shared
+:class:`~repro.cache.mapper.BaseMapper` (``page_size`` is set to the
+disk's block size); this class only maps aligned byte ranges onto
+blocks.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ class DiskMapper(Mapper):
     """Serves segments from a :class:`SimulatedDisk`."""
 
     def __init__(self, disk: SimulatedDisk, port: str = "disk-mapper"):
-        super().__init__(port)
+        super().__init__(port, page_size=disk.page_size)
         self.disk = disk
         self._tables: Dict[int, Dict[int, int]] = {}   # key -> page# -> block
         self._sizes: Dict[int, int] = {}
@@ -47,8 +52,7 @@ class DiskMapper(Mapper):
             raise CapabilityError(f"unknown file segment {key:#x}")
         return table
 
-    def read_segment(self, key: int, offset: int, size: int) -> bytes:
-        self.read_requests += 1
+    def read_range(self, key: int, offset: int, size: int) -> bytes:
         table = self._table(key)
         page_size = self.disk.page_size
         parts = []
@@ -66,18 +70,9 @@ class DiskMapper(Mapper):
             position += chunk
         return b"".join(parts)
 
-    def write_segment(self, key: int, offset: int, data: bytes) -> None:
-        self.write_requests += 1
+    def write_range(self, key: int, offset: int, data: bytes) -> None:
         table = self._table(key)
         page_size = self.disk.page_size
-        if offset % page_size or len(data) % page_size:
-            # Read-modify-write for partial pages.
-            aligned_offset = offset - (offset % page_size)
-            span = offset + len(data) - aligned_offset
-            span = (span + page_size - 1) // page_size * page_size
-            merged = bytearray(self.read_segment(key, aligned_offset, span))
-            merged[offset - aligned_offset:offset - aligned_offset + len(data)] = data
-            offset, data = aligned_offset, bytes(merged)
         for index in range(0, len(data), page_size):
             page_index = (offset + index) // page_size
             block = table.get(page_index)

@@ -6,57 +6,18 @@ read/write interface, invoked using the IPC mechanisms.  Some mappers
 are known to the Nucleus as defaults; these export an additional
 interface for the allocation of temporary segments."
 
-Mappers here are plain objects reachable through a port name; the
-Nucleus segment manager invokes them through IPC-shaped request
-records, preserving the protocol without a real network.
+The protocol layer (request counting, partial-page read-modify-write,
+capability checking) lives in :class:`repro.cache.mapper.BaseMapper`;
+concrete mappers in this package implement only its ``read_range`` /
+``write_range`` store primitive.  ``Mapper`` remains the historical
+name of the base class.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.cache.mapper import BaseMapper
 
-from repro.errors import CapabilityError
-from repro.segments.capability import Capability
+#: Historical name: every mapper in this package extends the shared base.
+Mapper = BaseMapper
 
-
-class Mapper:
-    """Base mapper: serves segment reads and writes by key."""
-
-    #: Port name under which the mapper is registered.
-    def __init__(self, port: str):
-        self.port = port
-        self.read_requests = 0
-        self.write_requests = 0
-
-    # -- the standard read/write interface ------------------------------------
-
-    def read_segment(self, key: int, offset: int, size: int) -> bytes:
-        """Return ``size`` bytes of segment *key* at *offset*."""
-        raise NotImplementedError
-
-    def write_segment(self, key: int, offset: int, data: bytes) -> None:
-        """Store *data* into segment *key* at *offset*."""
-        raise NotImplementedError
-
-    def segment_size(self, key: int) -> int:
-        """Current size of segment *key* in bytes."""
-        raise NotImplementedError
-
-    # -- default-mapper extension ---------------------------------------------------
-
-    def create_temporary(self) -> Capability:
-        """Allocate a temporary (swap) segment; default mappers only."""
-        raise CapabilityError(f"mapper {self.port} is not a default mapper")
-
-    def destroy_segment(self, key: int) -> None:
-        """Release a segment's storage (temporary segments)."""
-
-    # -- helpers -----------------------------------------------------------------------
-
-    def check_capability(self, capability: Capability) -> int:
-        """Validate that *capability* designates one of our segments."""
-        if capability.port != self.port:
-            raise CapabilityError(
-                f"capability for port {capability.port} sent to {self.port}"
-            )
-        return capability.key
+__all__ = ["BaseMapper", "Mapper"]

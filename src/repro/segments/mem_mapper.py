@@ -32,16 +32,14 @@ class MemoryMapper(Mapper):
             raise CapabilityError(f"unknown segment key {key:#x}")
         return segment
 
-    def read_segment(self, key: int, offset: int, size: int) -> bytes:
-        self.read_requests += 1
+    def read_range(self, key: int, offset: int, size: int) -> bytes:
         segment = self._segment(key)
         chunk = bytes(segment[offset:offset + size])
         if len(chunk) < size:                      # past-EOF reads are zeroes
             chunk += bytes(size - len(chunk))
         return chunk
 
-    def write_segment(self, key: int, offset: int, data: bytes) -> None:
-        self.write_requests += 1
+    def write_range(self, key: int, offset: int, data: bytes) -> None:
         segment = self._segment(key)
         end = offset + len(data)
         if end > len(segment):

@@ -4,53 +4,48 @@
 additional interface for the allocation of temporary segments"
 (section 5.1.1).  The segment manager asks this mapper for a swap
 segment the first time a temporary cache is pushed out (5.1.2).
+
+Each swap segment is a :class:`repro.cache.store.SparseStore`, so a
+ranged pushOut of any size lands correctly (the old page-keyed dict
+silently dropped the middle pages of a multi-page write).
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.cache.store import SparseStore
 from repro.errors import CapabilityError
 from repro.segments.capability import Capability
 from repro.segments.mapper import Mapper
 
 
 class SwapMapper(Mapper):
-    """Default mapper: page-keyed sparse swap storage per segment."""
+    """Default mapper: sparse byte-range swap storage per segment."""
 
     def __init__(self, port: str = "swap-mapper"):
         super().__init__(port)
-        self._segments: Dict[int, Dict[int, bytes]] = {}
+        self._segments: Dict[int, SparseStore] = {}
 
     def create_temporary(self) -> Capability:
         capability = Capability(self.port)
-        self._segments[capability.key] = {}
+        self._segments[capability.key] = SparseStore()
         return capability
 
-    def _pages(self, key: int) -> Dict[int, bytes]:
-        pages = self._segments.get(key)
-        if pages is None:
+    def _store(self, key: int) -> SparseStore:
+        store = self._segments.get(key)
+        if store is None:
             raise CapabilityError(f"unknown swap segment {key:#x}")
-        return pages
+        return store
 
-    def read_segment(self, key: int, offset: int, size: int) -> bytes:
-        self.read_requests += 1
-        pages = self._pages(key)
-        data = pages.get(offset)
-        if data is None:
-            return bytes(size)
-        return data[:size] + bytes(max(0, size - len(data)))
+    def read_range(self, key: int, offset: int, size: int) -> bytes:
+        return self._store(key).read(offset, size)
 
-    def write_segment(self, key: int, offset: int, data: bytes) -> None:
-        self.write_requests += 1
-        self._pages(key)[offset] = bytes(data)
+    def write_range(self, key: int, offset: int, data: bytes) -> None:
+        self._store(key).write(offset, data)
 
     def segment_size(self, key: int) -> int:
-        pages = self._pages(key)
-        if not pages:
-            return 0
-        last = max(pages)
-        return last + len(pages[last])
+        return self._store(key).size
 
     def destroy_segment(self, key: int) -> None:
         self._segments.pop(key, None)

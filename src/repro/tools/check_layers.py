@@ -7,7 +7,7 @@ The reproduction's layering (docs/ARCHITECTURE.md) is::
     repro.pvm.hw_interface       machine-dependent layer
     repro.hardware               MMU ports, TLB, bus, physical memory
 
-Three rules keep the stack honest — the same discipline the paper's
+Four rules keep the stack honest — the same discipline the paper's
 "hardware-independent interface" (section 4) imposes on the real PVM:
 
 1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
@@ -20,6 +20,14 @@ Three rules keep the stack honest — the same discipline the paper's
 3. **Observability is passive.**  ``repro.obs`` (metrics, spans,
    trace export) is instrumentation the other layers call *into*; it
    must not import backends or ``repro.hardware`` itself.
+4. **The cache subsystem is backend-agnostic.**  ``repro.cache``
+   (residency index, eviction policies, pull/push engine, mapper
+   protocol) imports neither backends nor ``repro.hardware`` — it is
+   *driven by* backends, never the other way round.  And mappers
+   (``repro.segments``) depend only on the cache-subsystem interfaces:
+   the only ``repro.*`` packages they may import are ``repro.cache``,
+   ``repro.segments`` itself, ``repro.errors``, ``repro.units`` and
+   ``repro.kernel`` (cost accounting).
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -45,6 +53,13 @@ ENGINE_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
 
 #: prefixes the observability layer must never import.
 OBS_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
+
+#: prefixes the cache subsystem must never import.
+CACHE_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
+
+#: the only repro.* prefixes mappers (repro.segments) may import.
+SEGMENTS_ALLOWED = ("repro.cache", "repro.segments", "repro.errors",
+                    "repro.units", "repro.kernel")
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -117,6 +132,26 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                         module, imported,
                         "repro.obs must not import backends or "
                         "hardware",
+                    ))
+        if _under(module, "repro.cache"):
+            for imported in imports:
+                if any(_under(imported, banned)
+                       for banned in CACHE_FORBIDDEN):
+                    violations.append((
+                        module, imported,
+                        "repro.cache must not import backends or "
+                        "hardware",
+                    ))
+        if _under(module, "repro.segments"):
+            for imported in imports:
+                if _under(imported, "repro") and \
+                        not any(_under(imported, allowed)
+                                for allowed in SEGMENTS_ALLOWED):
+                    violations.append((
+                        module, imported,
+                        "mappers may depend only on the cache-"
+                        "subsystem interfaces (repro.cache, "
+                        "repro.errors, repro.units, repro.kernel)",
                     ))
     return violations
 

@@ -12,6 +12,8 @@ obs-dump  run a small workload and emit a JSON metrics snapshot
 bench     record a BENCH_<n>.json flight-recorder run, or compare two
           runs and gate on wall-time regressions
 layers    verify the layer contract (docs/ARCHITECTURE.md import rules)
+verify    layers + obs-schema validation + bench regression gate in
+          one command (the pre-merge check)
 """
 
 from __future__ import annotations
@@ -234,6 +236,79 @@ def cmd_layers(_args) -> int:
     return check_main([str(src_root)])
 
 
+def cmd_verify(args) -> int:
+    """One-stop gate: layer contract + obs-schema consistency + live
+    snapshot validation + the bench wall-time regression gate."""
+    import json
+    import pathlib
+    import re
+
+    import repro
+    from repro import (
+        MachVirtualMemory, PagedVirtualMemory, RealTimeVirtualMemory,
+    )
+    from repro.bench.harness import compare, format_compare, load, run_suite
+    from repro.obs.schema import SNAPSHOT_SCHEMA, validate
+    from repro.units import MB
+
+    failures: List[str] = []
+
+    print("== layer contract ==")
+    if cmd_layers(args) != 0:
+        failures.append("layer contract")
+
+    print("== obs schema ==")
+    repo_root = pathlib.Path(repro.__file__).resolve().parents[2]
+    schema_file = repo_root / "docs" / "obs_snapshot.schema.json"
+    if not schema_file.exists():
+        schema_file = pathlib.Path("docs/obs_snapshot.schema.json")
+    if schema_file.exists():
+        checked_in = json.loads(schema_file.read_text())
+        if checked_in == json.loads(json.dumps(SNAPSHOT_SCHEMA)):
+            print(f"checked-in schema matches source ({schema_file})")
+        else:
+            print(f"MISMATCH: {schema_file} differs from "
+                  "repro.obs.schema.SNAPSHOT_SCHEMA")
+            failures.append("obs schema drift")
+    else:
+        print("checked-in schema not found; skipping the drift check")
+    for name, backend in (("pvm", PagedVirtualMemory),
+                          ("mach", MachVirtualMemory),
+                          ("minimal", RealTimeVirtualMemory)):
+        vm = backend(memory_size=8 * MB)
+        _obs_canonical(vm)
+        errors = validate(vm.metrics_snapshot(), SNAPSHOT_SCHEMA)
+        if errors:
+            print(f"{name}: snapshot INVALID: {'; '.join(errors)}")
+            failures.append(f"{name} snapshot schema")
+        else:
+            print(f"{name}: live snapshot validates")
+
+    print("== bench regression gate ==")
+    baseline_path = args.baseline
+    if baseline_path is None:
+        recorded = sorted(
+            repo_root.glob("BENCH_*.json"),
+            key=lambda path: int(re.sub(r"\D", "", path.stem) or 0))
+        baseline_path = str(recorded[-1]) if recorded else None
+    if baseline_path is None:
+        print("no BENCH_*.json baseline found; skipping the gate")
+    else:
+        baseline = load(baseline_path)
+        current = run_suite(repeats=args.repeats)
+        report = compare(baseline, current, threshold=args.threshold)
+        print(f"baseline: {baseline_path}")
+        print(format_compare(report))
+        if report["regressions"]:
+            failures.append("bench regression")
+
+    if failures:
+        print(f"\nverify FAILED: {', '.join(failures)}")
+        return 1
+    print("\nverify ok: layers + obs schema + bench gate all pass")
+    return 0
+
+
 COMMANDS = {
     "tables": cmd_tables,
     "loc": cmd_loc,
@@ -242,6 +317,7 @@ COMMANDS = {
     "obs-dump": cmd_obs_dump,
     "bench": cmd_bench,
     "layers": cmd_layers,
+    "verify": cmd_verify,
 }
 
 
@@ -273,8 +349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record and/or compare flight-recorder runs")
     bench.add_argument("--record", action="store_true",
                        help="run the suite and write the result document")
-    bench.add_argument("--out", default="BENCH_3.json", metavar="FILE",
-                       help="where --record writes (default: BENCH_3.json)")
+    bench.add_argument("--out", default="BENCH_4.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_4.json)")
     bench.add_argument("--compare", default=None, metavar="BASELINE",
                        help="baseline document to gate against")
     bench.add_argument("--current", default=None, metavar="FILE",
@@ -292,6 +368,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="comma-separated backend subset")
     bench.add_argument("--label", default=None,
                        help="free-form label stored in the document meta")
+    verify = subparsers.add_parser(
+        "verify",
+        help="run the layer, obs-schema and bench gates in one shot")
+    verify.add_argument("--baseline", default=None, metavar="FILE",
+                        help="bench baseline (default: newest "
+                             "BENCH_*.json at the repo root)")
+    verify.add_argument("--threshold", type=float, default=1.5,
+                        help="wall-time regression gate, as a ratio "
+                             "(default: 1.5)")
+    verify.add_argument("--repeats", type=int, default=3,
+                        help="wall-time samples per bench cell "
+                             "(default: 3)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

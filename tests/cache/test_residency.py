@@ -1,0 +1,132 @@
+"""The shared residency index: single writer for page tables, the
+policy queue and the resident count."""
+
+from repro.cache.eviction import FifoPolicy, LruPolicy
+from repro.cache.residency import ResidencyIndex
+
+
+class FakeCache:
+    _next_id = 1
+
+    def __init__(self, index):
+        self.cache_id = FakeCache._next_id
+        FakeCache._next_id += 1
+        self.pages = index.adopt(self.cache_id)
+
+
+class FakePage:
+    def __init__(self, cache, offset, dirty=False):
+        self.cache = cache
+        self.offset = offset
+        self.dirty = dirty
+        self.pin_count = 0
+        self.referenced = True
+
+    @property
+    def pinned(self):
+        return self.pin_count > 0
+
+
+def make_index():
+    return ResidencyIndex(FifoPolicy())
+
+
+class TestAdoptInsertRemove:
+    def test_adopted_dict_is_the_live_table(self):
+        index = make_index()
+        cache = FakeCache(index)
+        page = FakePage(cache, 0)
+        index.insert(page)
+        # The cache's own dict sees the insert: no copy, one table.
+        assert cache.pages[0] is page
+        assert len(index) == 1
+        assert len(index.policy) == 1
+
+    def test_remove_clears_all_three_views(self):
+        index = make_index()
+        cache = FakeCache(index)
+        page = FakePage(cache, 0)
+        index.insert(page)
+        index.remove(page)
+        assert cache.pages == {}
+        assert len(index) == 0
+        assert len(index.policy) == 0
+
+    def test_reinsert_same_offset_does_not_double_count(self):
+        index = make_index()
+        cache = FakeCache(index)
+        index.insert(FakePage(cache, 0))
+        index.insert(FakePage(cache, 0))
+        assert len(index) == 1
+
+
+class TestRebind:
+    def test_rebind_moves_page_between_tables(self):
+        index = make_index()
+        src, dst = FakeCache(index), FakeCache(index)
+        page = FakePage(src, 0x2000)
+        index.insert(page)
+        index.rebind(page, dst, 0x6000)
+        assert src.pages == {}
+        assert dst.pages[0x6000] is page
+        assert page.cache is dst and page.offset == 0x6000
+        assert len(index) == 1
+
+    def test_rebind_keeps_policy_entry(self):
+        # A cache.move re-homes data; it is not an access and must not
+        # churn the victim queue.
+        index = make_index()
+        src, dst = FakeCache(index), FakeCache(index)
+        first = FakePage(src, 0)
+        second = FakePage(src, 0x2000)
+        index.insert(first)
+        index.insert(second)
+        index.rebind(first, dst, 0)
+        assert next(iter(index.policy.victims())) is first
+        assert len(index.policy) == 2
+
+
+class TestRelease:
+    def test_release_unregisters_leftovers(self):
+        index = make_index()
+        cache = FakeCache(index)
+        index.insert(FakePage(cache, 0))
+        index.insert(FakePage(cache, 0x2000))
+        index.release(cache.cache_id)
+        assert len(index) == 0
+        assert len(index.policy) == 0
+        assert cache.pages == {}
+
+    def test_insert_after_release_revives_the_caches_own_table(self):
+        # A CoW stub referencing a destroyed cache's data may resolve
+        # after release; the page must land in the dict the cache
+        # still holds, not a shadow copy.
+        index = make_index()
+        cache = FakeCache(index)
+        index.release(cache.cache_id)
+        page = FakePage(cache, 0)
+        index.insert(page)
+        assert cache.pages[0] is page
+        assert index.pages_of(cache.cache_id) is cache.pages
+
+
+class TestDirtyAndPolicySwap:
+    def test_dirty_pages_iterates_only_dirty(self):
+        index = make_index()
+        cache = FakeCache(index)
+        clean = FakePage(cache, 0)
+        dirty = FakePage(cache, 0x2000, dirty=True)
+        index.insert(clean)
+        index.insert(dirty)
+        assert list(index.dirty_pages()) == [dirty]
+
+    def test_set_policy_reregisters_everything(self):
+        index = make_index()
+        cache = FakeCache(index)
+        pages = [FakePage(cache, offset * 0x2000) for offset in range(3)]
+        for page in pages:
+            index.insert(page)
+        replacement = LruPolicy()
+        index.set_policy(replacement)
+        assert index.policy is replacement
+        assert len(replacement) == 3

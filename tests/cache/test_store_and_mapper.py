@@ -1,0 +1,128 @@
+"""SparseStore (the one backing-store structure) and BaseMapper (the
+one mapper protocol layer)."""
+
+import pytest
+
+from repro.cache.mapper import BaseMapper
+from repro.cache.store import SparseStore
+from repro.errors import CapabilityError
+
+
+class TestSparseStore:
+    def test_holes_read_as_zeroes(self):
+        store = SparseStore(chunk_size=16)
+        store.write(32, b"abc")
+        assert store.read(0, 8) == bytes(8)
+        assert store.read(32, 3) == b"abc"
+        assert store.read(30, 7) == bytes(2) + b"abc" + bytes(2)
+
+    def test_multi_chunk_write_lands_whole(self):
+        # The regression SparseStore exists for: a range write wider
+        # than one storage unit must not drop its middle.
+        store = SparseStore(chunk_size=16)
+        payload = bytes(range(64))
+        store.write(8, payload)
+        assert store.read(8, 64) == payload
+
+    def test_size_is_high_water_mark(self):
+        store = SparseStore(chunk_size=16)
+        store.write(100, b"x")
+        store.write(10, b"y")
+        assert store.size == 101
+
+    def test_extents_split_stored_and_holes(self):
+        store = SparseStore(chunk_size=16)
+        store.write(16, b"z" * 16)          # exactly chunk 1
+        runs = list(store.extents(0, 48))
+        assert runs == [(0, 16, False), (16, 16, True), (32, 16, False)]
+        assert store.has_data(0, 48)
+        assert not store.has_data(32, 16)
+
+    def test_extents_are_maximal_runs(self):
+        store = SparseStore(chunk_size=16)
+        store.write(0, b"a" * 32)           # chunks 0 and 1
+        assert list(store.extents(0, 32)) == [(0, 32, True)]
+
+    def test_clear(self):
+        store = SparseStore(chunk_size=16)
+        store.write(0, b"data")
+        store.clear()
+        assert store.read(0, 4) == bytes(4)
+        assert store.size == 0
+
+    def test_rejects_bad_bounds(self):
+        store = SparseStore(chunk_size=16)
+        with pytest.raises(ValueError):
+            store.write(-1, b"x")
+        with pytest.raises(ValueError):
+            store.read(-1, 4)
+        with pytest.raises(ValueError):
+            SparseStore(chunk_size=0)
+
+
+class RecordingMapper(BaseMapper):
+    """Minimal concrete mapper: one SparseStore per key, call log."""
+
+    def __init__(self, port="recording", page_size=None):
+        super().__init__(port, page_size=page_size)
+        self.stores = {}
+        self.range_calls = []
+
+    def _store(self, key):
+        return self.stores.setdefault(key, SparseStore())
+
+    def read_range(self, key, offset, size):
+        self.range_calls.append(("read", offset, size))
+        return self._store(key).read(offset, size)
+
+    def write_range(self, key, offset, data):
+        self.range_calls.append(("write", offset, len(data)))
+        self._store(key).write(offset, data)
+
+    def segment_size(self, key):
+        return self._store(key).size
+
+
+class FakeCapability:
+    def __init__(self, port, key=7):
+        self.port = port
+        self.key = key
+
+
+class TestBaseMapper:
+    def test_request_counters_live_in_the_base(self):
+        mapper = RecordingMapper()
+        mapper.write_segment(1, 0, b"hello")
+        assert mapper.read_segment(1, 0, 5) == b"hello"
+        assert (mapper.read_requests, mapper.write_requests) == (1, 1)
+
+    def test_ranged_write_is_one_store_call(self):
+        mapper = RecordingMapper()
+        mapper.write_segment(1, 0, bytes(10 * 4096))
+        assert mapper.range_calls == [("write", 0, 10 * 4096)]
+
+    def test_unaligned_write_does_read_modify_write(self):
+        mapper = RecordingMapper(page_size=64)
+        mapper.write_segment(1, 0, b"A" * 64)
+        mapper.write_segment(1, 10, b"BB")          # unaligned: RMW
+        assert mapper.read_segment(1, 0, 64) == \
+            b"A" * 10 + b"BB" + b"A" * 52
+        # The RMW read goes through read_segment, so it counts — the
+        # behaviour DiskMapper always had.
+        assert mapper.read_requests == 2
+        assert mapper.write_requests == 2
+
+    def test_aligned_write_skips_rmw(self):
+        mapper = RecordingMapper(page_size=64)
+        mapper.write_segment(1, 64, b"C" * 64)
+        assert mapper.read_requests == 0
+
+    def test_capability_checking(self):
+        mapper = RecordingMapper(port="here")
+        assert mapper.check_capability(FakeCapability("here")) == 7
+        with pytest.raises(CapabilityError):
+            mapper.check_capability(FakeCapability("elsewhere"))
+
+    def test_not_a_default_mapper_by_default(self):
+        with pytest.raises(CapabilityError):
+            RecordingMapper().create_temporary()

@@ -4,8 +4,10 @@ Backends (repro.pvm / repro.mach / repro.minimal) may import
 repro.hardware only through repro.pvm.hw_interface, repro.engine
 imports neither hardware nor any backend, and repro.obs (metrics,
 spans, trace export) imports neither either — instrumentation is
-called into, never calls down.  The checker must both pass on the
-real tree and demonstrably fail on a deliberately-introduced
+called into, never calls down.  The cache subsystem (repro.cache)
+must stay backend-agnostic, and mappers (repro.segments) may depend
+only on the cache-subsystem interfaces.  The checker must both pass
+on the real tree and demonstrably fail on a deliberately-introduced
 violation — a green light from a checker that can't turn red proves
 nothing.
 """
@@ -90,6 +92,48 @@ class TestDetectsViolations:
             "obs/cheat.py": "import repro.hardware.mmu\n",
         })
         assert len(check_layers(tmp_path)) == 1
+
+    def test_cache_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "cache/cheat.py": "from repro.pvm.page import SyncStub\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.cache.cheat"
+        assert "repro.cache" in violations[0][2]
+
+    def test_cache_importing_hardware_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "cache/cheat.py": "import repro.hardware.mmu\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_mapper_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "segments/cheat.py":
+                "from repro.pvm.pvm import PagedVirtualMemory\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.segments.cheat"
+        assert "cache-subsystem interfaces" in violations[0][2]
+
+    def test_mapper_importing_gmi_fails(self, tmp_path):
+        # Mappers used to reach into repro.gmi for the provider base;
+        # after the cache extraction they must use repro.cache only.
+        _make_tree(tmp_path, {
+            "segments/cheat.py":
+                "from repro.gmi.upcalls import SegmentProvider\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_mapper_may_import_cache_interfaces(self, tmp_path):
+        _make_tree(tmp_path, {
+            "segments/fine.py": (
+                "from repro.cache.mapper import BaseMapper\n"
+                "from repro.errors import CapabilityError\n"
+                "from repro.kernel.clock import VirtualClock\n"
+            ),
+        })
+        assert check_layers(tmp_path) == []
 
     def test_cli_reports_failure(self, tmp_path, capsys):
         _make_tree(tmp_path, {
