@@ -26,6 +26,7 @@ the measured part.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from dataclasses import dataclass
@@ -53,9 +54,20 @@ REGION_BASE = 0x0100_0000
 SRC_BASE = 0x0200_0000
 
 
-def build_nucleus(backend: str):
+#: TLB entries modelled on the benchmark hardware (the SUN-3/60's
+#: 68030-style translation cache).  Translation is free on the virtual
+#: clock, so the TLB affects wall time and hit-rate gauges only.
+BENCH_TLB_ENTRIES = 64
+
+
+def build_nucleus(backend: str, cluster=None):
     """A fresh Nucleus on SUN-3/60-calibrated hardware for *backend*
-    (``pvm``, ``mach`` or ``minimal``)."""
+    (``pvm``, ``mach`` or ``minimal``).
+
+    *cluster* is a fault-clustering policy spec (``off`` / ``fixed`` /
+    ``adaptive`` / None); read-ahead is charge-replayed, so it changes
+    wall time and upcall counts but never virtual time.
+    """
     from repro.mach.mach_vm import MachVirtualMemory
     from repro.minimal.minimal_vm import RealTimeVirtualMemory
     from repro.nucleus.nucleus import Nucleus
@@ -67,7 +79,8 @@ def build_nucleus(backend: str):
         "minimal": (RealTimeVirtualMemory, CHORUS_SUN360),
     }[backend]
     return Nucleus(vm_class=vm_class, cost_model=cost_model,
-                   memory_size=SUN360_MEMORY, page_size=SUN360_PAGE)
+                   memory_size=SUN360_MEMORY, page_size=SUN360_PAGE,
+                   tlb_entries=BENCH_TLB_ENTRIES, cluster_policy=cluster)
 
 
 @dataclass(frozen=True)
@@ -83,21 +96,21 @@ class Workload:
     name: str
     description: str
     backends: Sequence[str]
-    setup: Callable[[str], dict]
+    setup: Callable[..., dict]
     body: Callable[[dict], None]
 
 
 # -- workload definitions -------------------------------------------------------
 
-def _nucleus_state(backend: str, **extra) -> dict:
-    nucleus = build_nucleus(backend)
+def _nucleus_state(backend: str, cluster=None, **extra) -> dict:
+    nucleus = build_nucleus(backend, cluster=cluster)
     state = {"nucleus": nucleus, "vm": nucleus.vm, "clock": nucleus.clock}
     state.update(extra)
     return state
 
 
-def _zero_fill_setup(backend: str) -> dict:
-    state = _nucleus_state(backend)
+def _zero_fill_setup(backend: str, cluster=None) -> dict:
+    state = _nucleus_state(backend, cluster)
     state["actor"] = state["nucleus"].create_actor("bench")
     return state
 
@@ -112,10 +125,52 @@ def _zero_fill_body(state: dict) -> None:
     nucleus.rgn_free(actor, region)
 
 
-def _cow_setup(backend: str) -> dict:
+def _seq_stream_setup(backend: str, cluster=None) -> dict:
+    state = _nucleus_state(backend, cluster)
+    nucleus = state["nucleus"]
+    state["actor"] = nucleus.create_actor("bench")
+    state["region"] = nucleus.rgn_allocate(state["actor"], 512 * KB,
+                                           address=REGION_BASE)
+    return state
+
+
+def _seq_stream_body(state: dict) -> None:
+    # Stream sequentially through a 64-page anonymous region, 4 pages
+    # per read, twice: pass one is a pure fault train (read-ahead
+    # clusters it), pass two re-reads warm translations (multi-page
+    # reads exercise the batched translation path and the TLB).
+    actor = state["actor"]
+    page_size = state["vm"].page_size
+    span = 4 * page_size
+    for _ in range(2):
+        for position in range(0, 512 * KB, span):
+            actor.read(REGION_BASE + position, span)
+
+
+def _random_touch_setup(backend: str, cluster=None) -> dict:
+    state = _seq_stream_setup(backend, cluster)
+    state["region"].advice = "random"
+    return state
+
+
+def _random_touch_body(state: dict) -> None:
+    # Touch the same 64 pages in a deterministic non-sequential order,
+    # three passes: read-ahead must stay shut (the region advises
+    # random access), so this cell is the clustering control group.
+    actor = state["actor"]
+    page_size = state["vm"].page_size
+    pages = 512 * KB // page_size
+    for _ in range(3):
+        for index in range(pages):
+            # 37 is coprime with 64: a full-cycle stride permutation.
+            actor.write(REGION_BASE + ((index * 37) % pages) * page_size,
+                        b"\x01")
+
+
+def _cow_setup(backend: str, cluster=None) -> dict:
     # "The source region is created and allocated before starting the
     # measurement" — a 256 KB source, fully written.
-    state = _nucleus_state(backend)
+    state = _nucleus_state(backend, cluster)
     nucleus = state["nucleus"]
     actor = nucleus.create_actor("bench")
     page_size = nucleus.vm.page_size
@@ -152,8 +207,8 @@ def _cow_chain_body(state: dict) -> None:
     fork_exit_chain(state["nucleus"], generations=6, collapse=True)
 
 
-def _pageout_setup(backend: str) -> dict:
-    state = _nucleus_state(backend)
+def _pageout_setup(backend: str, cluster=None) -> dict:
+    state = _nucleus_state(backend, cluster)
     nucleus = state["nucleus"]
     vm = nucleus.vm
     cache = nucleus.segment_manager.create_temporary("pageout-data")
@@ -169,7 +224,9 @@ def _pageout_body(state: dict) -> None:
     state["vm"].reclaim_frames(32)
 
 
-def _dsm_setup(backend: str) -> dict:
+def _dsm_setup(backend: str, cluster=None) -> dict:
+    # DSM sites build their own nuclei; coherence traffic is strictly
+    # page-at-a-time, so the clustering knob does not apply here.
     from repro.dsm.site import make_dsm_cluster
 
     manager, sites = make_dsm_cluster(["a", "b"], segment_pages=4,
@@ -189,10 +246,10 @@ def _dsm_body(state: dict) -> None:
         site_a.read(0, 1)
 
 
-def _segment_scan_setup(backend: str) -> dict:
+def _segment_scan_setup(backend: str, cluster=None) -> dict:
     from repro.segments.mem_mapper import MemoryMapper
 
-    state = _nucleus_state(backend)
+    state = _nucleus_state(backend, cluster)
     nucleus = state["nucleus"]
     page_size = nucleus.vm.page_size
     mapper = MemoryMapper()
@@ -214,10 +271,10 @@ def _segment_scan_body(state: dict) -> None:
         cache.read(index * page_size, 8 * page_size)
 
 
-def _writeback_storm_setup(backend: str) -> dict:
+def _writeback_storm_setup(backend: str, cluster=None) -> dict:
     from repro.cache.writeback import WritebackDaemon
 
-    state = _nucleus_state(backend)
+    state = _nucleus_state(backend, cluster)
     nucleus = state["nucleus"]
     vm = nucleus.vm
     cache = nucleus.segment_manager.create_temporary("storm-data")
@@ -249,6 +306,14 @@ WORKLOADS: Dict[str, Workload] = {
         Workload("zero_fill",
                  "Table 6 cell: 1024 KB region, 32 pages touched",
                  BACKENDS, _zero_fill_setup, _zero_fill_body),
+        Workload("seq_stream",
+                 "two sequential passes over a 64-page anonymous "
+                 "region, 4 pages per read",
+                 BACKENDS, _seq_stream_setup, _seq_stream_body),
+        Workload("random_touch",
+                 "three strided passes over 64 pages, advice=random "
+                 "(read-ahead control group)",
+                 BACKENDS, _random_touch_setup, _random_touch_body),
         Workload("cow_copy",
                  "Table 7 cell: copy a 256 KB region, dirty 8 pages",
                  BACKENDS, _cow_setup, _cow_body),
@@ -279,24 +344,43 @@ WORKLOADS: Dict[str, Workload] = {
 
 # -- recording -----------------------------------------------------------------
 
-def run_workload(workload: Workload, backend: str, repeats: int = 3) -> dict:
+def run_workload(workload: Workload, backend: str, repeats: int = 3,
+                 cluster=None) -> dict:
     """One (workload, backend) cell: best-of-*repeats* wall time, the
     deterministic virtual time, and a full metrics snapshot."""
     if backend not in workload.backends:
         raise ValueError(
             f"workload {workload.name!r} does not run on {backend!r}")
     wall_ms_all: List[float] = []
-    virtual_ms = None
-    metrics = None
+    # Timed repeats run with the metrics registry paused — the obs
+    # idle fast path — so wall time measures the mechanisms, not the
+    # bookkeeping.  Virtual time is deterministic either way.
     for _ in range(repeats):
-        state = workload.setup(backend)
-        start = time.perf_counter()
-        with ClockRegion(state["clock"]) as timer:
+        state = workload.setup(backend, cluster)
+        registry = state["vm"].probe.registry
+        registry.enabled = False
+        # Sweep the previous repeat's garbage before the timer starts
+        # and keep the collector out of the timed body: a gen-2 pass
+        # landing mid-repeat would be charged to whichever workload
+        # happened to trip it, not the one that produced the garbage.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
             workload.body(state)
-        wall_ms_all.append((time.perf_counter() - start) * 1000.0)
-        if metrics is None:
-            virtual_ms = timer.elapsed
-            metrics = state["vm"].metrics_snapshot()
+            wall_ms_all.append((time.perf_counter() - start) * 1000.0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            registry.enabled = True
+    # One untimed instrumented pass supplies the golden virtual time
+    # and the full metrics snapshot.
+    state = workload.setup(backend, cluster)
+    with ClockRegion(state["clock"]) as timer:
+        workload.body(state)
+    virtual_ms = timer.elapsed
+    metrics = state["vm"].metrics_snapshot()
     return {
         "workload": workload.name,
         "backend": backend,
@@ -311,8 +395,16 @@ def run_workload(workload: Workload, backend: str, repeats: int = 3) -> dict:
 def run_suite(workloads: Optional[Sequence[str]] = None,
               backends: Optional[Sequence[str]] = None,
               repeats: int = 3,
-              label: Optional[str] = None) -> dict:
-    """Run the named suite; returns the recordable result document."""
+              label: Optional[str] = None,
+              cluster: Optional[str] = "adaptive") -> dict:
+    """Run the named suite; returns the recordable result document.
+
+    *cluster* selects the fault-clustering policy the managers run
+    with (``"adaptive"`` by default — the shipping configuration;
+    pass ``"off"``/None for the one-page-per-fault baseline).
+    Virtual times are identical either way; wall time and upcall
+    counts are what the knob moves.
+    """
     names = list(workloads) if workloads else list(WORKLOADS)
     unknown = [name for name in names if name not in WORKLOADS]
     if unknown:
@@ -322,15 +414,19 @@ def run_suite(workloads: Optional[Sequence[str]] = None,
     unknown = [name for name in selected_backends if name not in BACKENDS]
     if unknown:
         raise ValueError(f"unknown backends: {', '.join(unknown)}")
+    if cluster == "off":
+        cluster = None
     results = []
     for name in names:
         workload = WORKLOADS[name]
         for backend in selected_backends:
             if backend not in workload.backends:
                 continue
-            results.append(run_workload(workload, backend, repeats=repeats))
+            results.append(run_workload(workload, backend, repeats=repeats,
+                                        cluster=cluster))
     document = {
-        "meta": {"version": RESULT_VERSION, "repeats": repeats},
+        "meta": {"version": RESULT_VERSION, "repeats": repeats,
+                 "cluster": cluster or "off"},
         "results": results,
     }
     if label:
@@ -340,10 +436,11 @@ def run_suite(workloads: Optional[Sequence[str]] = None,
 
 def record(path, workloads: Optional[Sequence[str]] = None,
            backends: Optional[Sequence[str]] = None,
-           repeats: int = 3, label: Optional[str] = None) -> dict:
+           repeats: int = 3, label: Optional[str] = None,
+           cluster: Optional[str] = "adaptive") -> dict:
     """Run the suite, validate the document, write it to *path*."""
     document = run_suite(workloads=workloads, backends=backends,
-                         repeats=repeats, label=label)
+                         repeats=repeats, label=label, cluster=cluster)
     errors = validate(document, BENCH_RESULT_SCHEMA)
     if errors:
         raise ValueError("recorded document violates BENCH_RESULT_SCHEMA: "
@@ -369,7 +466,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
     *threshold*× over the baseline.  Virtual-time drift is reported
     too (it should be exactly 0.0 — the virtual clock is
     deterministic — so any drift means the mechanisms changed), but
-    only wall time gates.
+    only wall time gates.  Each row also carries the cell's TLB hit
+    rate on both sides (None when that recording predates the TLB
+    gauges).
     """
     baseline_cells = {(cell["workload"], cell["backend"]): cell
                       for cell in baseline["results"]}
@@ -384,7 +483,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "status": "new",
                          "wall_ms": cell["wall_ms"],
                          "baseline_wall_ms": None, "wall_ratio": None,
-                         "virtual_drift_ms": None})
+                         "virtual_drift_ms": None,
+                         "baseline_tlb_hit_rate": None,
+                         "tlb_hit_rate": _tlb_hit_rate(cell)})
             continue
         if base["wall_ms"] > 0:
             ratio = cell["wall_ms"] / base["wall_ms"]
@@ -396,7 +497,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                "wall_ms": cell["wall_ms"],
                "baseline_wall_ms": base["wall_ms"],
                "wall_ratio": ratio,
-               "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"]}
+               "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"],
+               "baseline_tlb_hit_rate": _tlb_hit_rate(base),
+               "tlb_hit_rate": _tlb_hit_rate(cell)}
         rows.append(row)
         if regressed:
             regressions.append(row)
@@ -406,16 +509,28 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "status": "missing",
                          "wall_ms": None,
                          "baseline_wall_ms": baseline_cells[key]["wall_ms"],
-                         "wall_ratio": None, "virtual_drift_ms": None})
+                         "wall_ratio": None, "virtual_drift_ms": None,
+                         "baseline_tlb_hit_rate":
+                             _tlb_hit_rate(baseline_cells[key]),
+                         "tlb_hit_rate": None})
     rows.sort(key=lambda row: (row["workload"], row["backend"]))
     return {"threshold": threshold, "rows": rows,
             "regressions": regressions}
 
 
+def _tlb_hit_rate(cell: dict) -> Optional[float]:
+    """The cell's recorded ``tlb.hit_ratio`` gauge, if any."""
+    return cell.get("metrics", {}).get("gauges", {}).get("tlb.hit_ratio")
+
+
+def _format_hit_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 100:.1f}%"
+
+
 def format_compare(report: dict) -> str:
     """Render a compare report as the per-workload delta table."""
     headers = ("workload", "backend", "base ms", "now ms", "ratio",
-               "vdrift ms", "status")
+               "vdrift ms", "tlb base", "tlb now", "status")
     table = [headers]
     for row in report["rows"]:
         table.append((
@@ -428,6 +543,8 @@ def format_compare(report: dict) -> str:
             else f"{row['wall_ratio']:.2f}x",
             "-" if row["virtual_drift_ms"] is None
             else f"{row['virtual_drift_ms']:+.3f}",
+            _format_hit_rate(row.get("baseline_tlb_hit_rate")),
+            _format_hit_rate(row.get("tlb_hit_rate")),
             row["status"],
         ))
     widths = [max(len(line[col]) for line in table)
@@ -461,6 +578,7 @@ BENCH_RESULT_SCHEMA = {
                 "version": {"type": "integer", "minimum": 1},
                 "repeats": {"type": "integer", "minimum": 1},
                 "label": {"type": "string"},
+                "cluster": {"type": "string"},
             },
         },
         "results": {

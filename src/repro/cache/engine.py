@@ -163,8 +163,12 @@ class CacheEngine:
                         break
                     if id(page) in seen:
                         # The policy cycled back to a page we already
-                        # hold: nothing new left to take this round.
-                        break
+                        # hold (second-chance re-queues each yielded
+                        # candidate); pages whose reference bits were
+                        # cleared this rotation may still lie behind
+                        # it, so keep scanning — every policy's
+                        # ``victims()`` is finitely bounded.
+                        continue
                     seen.add(id(page))
                     if page is exclude:
                         continue

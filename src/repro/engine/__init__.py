@@ -19,15 +19,27 @@ Every stage is wired through the observability probe: an
 trace span when a sink is attached.
 """
 
+from repro.engine.cluster import (
+    AdaptiveWindow, ClusterIndex, ClusterPolicy, FixedWindow, NoCluster,
+    PrefaultEntry, make_policy, split_uniform,
+)
 from repro.engine.pipeline import (
     FAULT_STAGES, RESOLUTION_STAGES, FaultPipeline, VmBackend,
 )
 from repro.engine.task import FaultTask
 
 __all__ = [
+    "AdaptiveWindow",
+    "ClusterIndex",
+    "ClusterPolicy",
     "FAULT_STAGES",
+    "FixedWindow",
+    "NoCluster",
+    "PrefaultEntry",
     "RESOLUTION_STAGES",
     "FaultPipeline",
     "FaultTask",
     "VmBackend",
+    "make_policy",
+    "split_uniform",
 ]

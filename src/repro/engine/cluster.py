@@ -1,0 +1,237 @@
+"""Fault clustering: per-region read-ahead policies and the prefault index.
+
+When a fault arrives, the pipeline may resolve more than the faulting
+page: a :class:`ClusterPolicy` inspects the region's fault pattern and
+answers how many pages past the faulting one are worth pulling now.
+The backend then drives **one** ranged provider upcall for the whole
+cluster and parks the resulting frames in a :class:`ClusterIndex` as
+:class:`PrefaultEntry` records — *invisible* to the rest of the
+manager (not in the global map, not resident, not evictable), each
+carrying the exact per-page cost events the ordinary one-page path
+would have charged.  When the neighbouring fault arrives, the backend
+adopts the entry: it replays the recorded charges and installs the
+page exactly as a fresh pull would have, so virtual time and every
+mechanism count stay bit-identical to the unclustered execution while
+the provider sees far fewer upcalls.
+
+This module is backend-agnostic (layer rule 2): policies duck-type
+the region object (``offset``/``size``/``advice`` plus two private
+streak attributes), and the index keys on whatever cache objects the
+backend hands it.
+
+Three policies, selectable per manager (``cluster_policy=`` /
+``--cluster=``):
+
+* :class:`NoCluster` — ``off``; every fault resolves one page.
+* :class:`FixedWindow` — ``fixed``; always read ahead N pages.
+* :class:`AdaptiveWindow` — ``adaptive``; the window starts small on a
+  detected sequential streak and doubles while the streak holds, the
+  classic read-ahead ramp.  Random access never opens a window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class PrefaultEntry:
+    """One speculatively pulled page awaiting its fault.
+
+    ``charges`` holds the per-page ``(CostEvent, count)`` sequence the
+    one-page pull would have charged, in order; adoption replays it.
+    ``zero`` records whether the provider delivered the page as a
+    zero-fill — the fault that adopts the entry decides the access
+    mode (and so the write grant), exactly as the pull it replaces
+    would have.
+    """
+
+    __slots__ = ("frame", "charges", "zero")
+
+    def __init__(self, frame: int, charges: Tuple, zero: bool):
+        self.frame = frame
+        self.charges = charges
+        self.zero = zero
+
+    def __repr__(self) -> str:
+        return f"PrefaultEntry(frame={self.frame}, zero={self.zero})"
+
+
+class ClusterIndex:
+    """(cache, offset) -> :class:`PrefaultEntry`, with per-cache drops.
+
+    The index is the *only* place prefaulted frames live; dropping an
+    entry (cache destruction, range invalidation) frees the frame with
+    no cost event — the unclustered execution never allocated it.
+    """
+
+    def __init__(self):
+        self._by_cache: Dict[object, Dict[int, PrefaultEntry]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, cache, offset: int, entry: PrefaultEntry) -> None:
+        self._by_cache.setdefault(cache, {})[offset] = entry
+        self._count += 1
+
+    def lookup(self, cache, offset: int) -> Optional[PrefaultEntry]:
+        entries = self._by_cache.get(cache)
+        return entries.get(offset) if entries is not None else None
+
+    def pop(self, cache, offset: int) -> Optional[PrefaultEntry]:
+        entries = self._by_cache.get(cache)
+        if entries is None:
+            return None
+        entry = entries.pop(offset, None)
+        if entry is not None:
+            self._count -= 1
+            if not entries:
+                del self._by_cache[cache]
+        return entry
+
+    def pop_cache(self, cache) -> List[PrefaultEntry]:
+        """Remove and return every entry of *cache*."""
+        entries = self._by_cache.pop(cache, None)
+        if not entries:
+            return []
+        self._count -= len(entries)
+        return list(entries.values())
+
+    def pop_range(self, cache, offset: int, size: int
+                  ) -> List[PrefaultEntry]:
+        """Remove and return the entries of *cache* in [offset, +size)."""
+        entries = self._by_cache.get(cache)
+        if not entries:
+            return []
+        end = offset + size
+        hit = [off for off in entries if offset <= off < end]
+        popped = [entries.pop(off) for off in hit]
+        self._count -= len(popped)
+        if not entries:
+            del self._by_cache[cache]
+        return popped
+
+
+class ClusterPolicy:
+    """Decides, per fault, how many pages to read ahead.
+
+    ``window(region, offset, page_size)`` is called on **every** fault
+    of a clustering manager (it owns the streak bookkeeping) and
+    returns the number of pages past the faulting one worth pulling;
+    0 means resolve just the faulting page.  Policies respect the
+    region's advice: ``random`` pins the window shut.
+    """
+
+    name = "off"
+
+    def window(self, region, offset: int, page_size: int) -> int:
+        raise NotImplementedError
+
+
+class NoCluster(ClusterPolicy):
+    """Clustering disabled: the historical one-page-per-fault path."""
+
+    name = "off"
+
+    def window(self, region, offset: int, page_size: int) -> int:
+        return 0
+
+
+class FixedWindow(ClusterPolicy):
+    """Always read ahead a fixed number of pages."""
+
+    name = "fixed"
+
+    def __init__(self, pages: int = 8):
+        if pages <= 0:
+            raise ValueError("fixed cluster window must be positive")
+        self.pages = pages
+
+    def window(self, region, offset: int, page_size: int) -> int:
+        if getattr(region, "advice", None) == "random":
+            return 0
+        return self.pages
+
+
+class AdaptiveWindow(ClusterPolicy):
+    """Sequential-streak detection with exponential ramp.
+
+    A fault exactly one page after the region's previous fault extends
+    a streak; the window starts at *start* pages on the second fault of
+    a streak and doubles per streak fault up to *max_pages*.  Any
+    non-sequential fault closes the window, so random access pays
+    nothing.  Regions advising ``sequential`` open the window on their
+    first fault; ``random`` keeps it shut for good.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, start: int = 2, max_pages: int = 64):
+        if start <= 0 or max_pages < start:
+            raise ValueError("adaptive window needs 0 < start <= max")
+        self.start = start
+        self.max_pages = max_pages
+
+    def window(self, region, offset: int, page_size: int) -> int:
+        advice = getattr(region, "advice", None)
+        if advice == "random":
+            return 0
+        last = getattr(region, "_cluster_last", None)
+        region._cluster_last = offset
+        if last is None:
+            win = self.start if advice == "sequential" else 0
+        elif offset == last + page_size:
+            previous = getattr(region, "_cluster_window", 0)
+            win = self.start if previous <= 0 \
+                else min(previous * 2, self.max_pages)
+        else:
+            win = 0
+        region._cluster_window = win
+        return win
+
+
+def make_policy(spec) -> ClusterPolicy:
+    """Resolve a policy spec: None / ``"off"`` / ``"fixed"`` /
+    ``"fixed:N"`` / ``"adaptive"`` / a ready :class:`ClusterPolicy`."""
+    if spec is None:
+        return NoCluster()
+    if isinstance(spec, ClusterPolicy):
+        return spec
+    name, _, arg = str(spec).partition(":")
+    if name == "off":
+        return NoCluster()
+    if name == "fixed":
+        return FixedWindow(int(arg)) if arg else FixedWindow()
+    if name == "adaptive":
+        return AdaptiveWindow()
+    raise ValueError(f"unknown cluster policy {spec!r}")
+
+
+def split_uniform(charges: Iterable[Tuple], pages: int
+                  ) -> Optional[Tuple]:
+    """Split a captured charge list evenly over *pages* pages.
+
+    Returns the per-page ``(event, count)`` tuple (events in first-
+    occurrence order) when every event total divides evenly, else
+    None — the signal that this provider's ranged upcall is *not* a
+    per-page-uniform composition (e.g. one IPC send for the whole
+    range) and the cluster must be abandoned to keep virtual time
+    golden.  A diverted ``advance`` (event None) is never splittable.
+    """
+    totals: Dict[object, int] = {}
+    order: List[object] = []
+    for event, count in charges:
+        if event is None:
+            return None
+        if event not in totals:
+            order.append(event)
+            totals[event] = 0
+        totals[event] += count
+    per_page: List[Tuple] = []
+    for event in order:
+        total = totals[event]
+        if total % pages:
+            return None
+        per_page.append((event, total // pages))
+    return tuple(per_page)

@@ -99,6 +99,11 @@ class FaultPipeline:
              getattr(backend, "stage_" + name))
             for name in FAULT_STAGES
         )
+        #: The precomputed stage series keys in execution order —
+        #: fast paths that bypass the staged loop (the clustered-fault
+        #: adopt path) replay these so stage counters stay identical.
+        self.stage_series = tuple(series for _, _, series, _
+                                  in self._stages)
 
     def run(self, task: FaultTask,
             stages: Sequence[str] = FAULT_STAGES) -> FaultTask:
@@ -113,6 +118,12 @@ class FaultPipeline:
                     span.set(space=task.space, address=task.address,
                              write=task.write)
                     stage(task)
+        elif stages is FAULT_STAGES:
+            # Hottest path (every hardware fault): counters only, and
+            # the full sequence by identity — no membership tests.
+            for name, metric, series, stage in self._stages:
+                probe.count(series)
+                stage(task)
         else:
             # Hot path: counters only, no span machinery at all.
             for name, metric, series, stage in self._stages:

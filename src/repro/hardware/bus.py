@@ -45,19 +45,41 @@ class MemoryBus:
     def read(self, space: int, vaddr: int, size: int,
              supervisor: bool = False) -> bytes:
         """Read *size* bytes at virtual address *vaddr* in *space*."""
-        chunks = []
-        for page_vaddr, chunk_off, chunk_len in self._chunks(vaddr, size):
+        chunks = list(self._chunks(vaddr, size))
+        if len(chunks) > 1:
+            paddrs = self._translate_span(space, chunks, write=False,
+                                          supervisor=supervisor)
+            memory = self.memory
+            data = b"".join(
+                memory.read(paddr, chunk[2])
+                for paddr, chunk in zip(paddrs, chunks))
+            self.stats.add("reads")
+            return data
+        for page_vaddr, chunk_off, chunk_len in chunks:
             paddr = self._translate(space, page_vaddr + chunk_off,
                                     write=False, supervisor=supervisor)
-            chunks.append(self.memory.read(paddr, chunk_len))
+            data = self.memory.read(paddr, chunk_len)
+            self.stats.add("reads")
+            return data
         self.stats.add("reads")
-        return b"".join(chunks)
+        return b""
 
     def write(self, space: int, vaddr: int, data: bytes,
               supervisor: bool = False) -> None:
         """Write *data* at virtual address *vaddr* in *space*."""
+        chunks = list(self._chunks(vaddr, len(data)))
+        if len(chunks) > 1:
+            paddrs = self._translate_span(space, chunks, write=True,
+                                          supervisor=supervisor)
+            memory = self.memory
+            pos = 0
+            for paddr, chunk in zip(paddrs, chunks):
+                memory.write(paddr, data[pos:pos + chunk[2]])
+                pos += chunk[2]
+            self.stats.add("writes")
+            return
         pos = 0
-        for page_vaddr, chunk_off, chunk_len in self._chunks(vaddr, len(data)):
+        for page_vaddr, chunk_off, chunk_len in chunks:
             paddr = self._translate(space, page_vaddr + chunk_off,
                                     write=True, supervisor=supervisor)
             self.memory.write(paddr, data[pos:pos + chunk_len])
@@ -85,6 +107,41 @@ class MemoryBus:
             chunk_len = min(page_size - chunk_off, end - pos)
             yield page_vaddr, chunk_off, chunk_len
             pos += chunk_len
+
+    def _translate_span(self, space: int, chunks, write: bool,
+                        supervisor: bool = False):
+        """Translate a multi-page span through ``translate_batch``.
+
+        A fully-mapped span costs one batch call; a fault traps to the
+        handler exactly like the per-page path (same trap count, same
+        FAULT_DISPATCH charges — one per resolution) and the batch is
+        retried from the start, where the already-resolved prefix is
+        now a run of TLB hits.
+        """
+        addrs = [page_vaddr + chunk_off
+                 for page_vaddr, chunk_off, _ in chunks]
+        mmu = self.mmu
+        for _ in range(MAX_FAULT_RETRIES * len(addrs)):
+            try:
+                return mmu.translate_batch(space, addrs, write,
+                                           supervisor=supervisor)
+            except (PageFault, ProtectionViolation) as fault:
+                self.stats.add("faults")
+                if self.fault_handler is None:
+                    raise
+                record = FaultRecord(
+                    space=space,
+                    address=fault.address,
+                    write=write,
+                    protection_violation=isinstance(
+                        fault, ProtectionViolation),
+                    supervisor=supervisor,
+                )
+                self.fault_handler(record)
+        raise HardwareFault(
+            f"span at {addrs[0]:#x} not resolved after "
+            f"{MAX_FAULT_RETRIES * len(addrs)} retries"
+        )
 
     def _translate(self, space: int, vaddr: int, write: bool,
                    supervisor: bool = False) -> int:

@@ -66,7 +66,7 @@ class InvertedMMU(MMU):
         self._check_space(space)
         table = self._entries
         index = self._by_space[space]
-        tlb = self.tlb
+        touched = []
         for vaddr, frame, prot in entries:
             if prot == Prot.NONE:
                 raise InvalidOperation(
@@ -76,32 +76,32 @@ class InvertedMMU(MMU):
             if key not in table:
                 index.add(vpn)
             table[key] = Mapping(frame, prot)
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     def unmap_batch(self, space: int, vaddrs) -> int:
         """Bulk unmap: straight hash deletes."""
         self._check_space(space)
         table = self._entries
         index = self._by_space[space]
-        tlb = self.tlb
-        count = 0
+        dropped = []
         for vaddr in vaddrs:
             vpn = self.vpn(vaddr)
             if table.pop((space, vpn), None) is None:
                 continue
             index.discard(vpn)
-            count += 1
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
-        return count
+            dropped.append(vpn)
+        if dropped and self.tlb is not None:
+            self.tlb.invalidate_batch(space, dropped)
+        return len(dropped)
 
     def protect_batch(self, space: int, items) -> None:
         """Bulk protect: one hash probe per entry (same accounting as
         the single-entry path)."""
         self._check_space(space)
         table = self._entries
-        tlb = self.tlb
+        touched = []
         for vaddr, prot in items:
             vpn = self.vpn(vaddr)
             key = (space, vpn)
@@ -112,8 +112,9 @@ class InvertedMMU(MMU):
                     f"protect: no mapping at {vaddr:#x} in space {space}"
                 )
             table[key] = Mapping(mapping.frame, prot)
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     # -- introspection -------------------------------------------------------------
 

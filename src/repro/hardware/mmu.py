@@ -63,10 +63,26 @@ class FaultRecord:
 
 @dataclass
 class Mapping:
-    """One virtual-page-to-frame translation."""
+    """One virtual-page-to-frame translation.
+
+    ``bits`` caches the protection as a plain int so the translation
+    hot path checks access with integer masks instead of constructing
+    ``IntFlag`` instances per page (measurably the dominant cost of a
+    software table walk).
+    """
 
     frame: int
     prot: Prot
+    bits: int = 0
+
+    def __post_init__(self):
+        self.bits = int(self.prot)
+
+
+#: Plain-int mirrors of the Prot bits for the translation fast path.
+_READ_BIT = int(Prot.READ)
+_WRITE_BIT = int(Prot.WRITE)
+_SYSTEM_BIT = int(Prot.SYSTEM)
 
 
 class MMU:
@@ -175,13 +191,13 @@ class MMU:
                           if start_vpn <= vpn <= end_vpn)
         else:
             vpns = range(start_vpn, end_vpn + 1)
-        count = 0
+        dropped = []
         for vpn in vpns:
             if self._del_entry(space, vpn):
-                count += 1
-                if self.tlb is not None:
-                    self.tlb.invalidate(space, vpn)
-        return count
+                dropped.append(vpn)
+        if dropped and self.tlb is not None:
+            self.tlb.invalidate_batch(space, dropped)
+        return len(dropped)
 
     # -- batched operations (the hardware layer's bulk primitives) ------------------
 
@@ -193,27 +209,28 @@ class MMU:
         can amortize their per-space storage lookups.
         """
         self._check_space(space)
+        touched = []
         for vaddr, frame, prot in entries:
             if prot == Prot.NONE:
                 raise InvalidOperation(
                     "mapping with no access bits; use unmap")
             vpn = self.vpn(vaddr)
             self._set_entry(space, vpn, Mapping(frame, prot))
-            if self.tlb is not None:
-                self.tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     def unmap_batch(self, space: int, vaddrs) -> int:
         """Remove many translations at once; return how many existed."""
         self._check_space(space)
-        count = 0
-        tlb = self.tlb
+        dropped = []
         for vaddr in vaddrs:
             vpn = self.vpn(vaddr)
             if self._del_entry(space, vpn):
-                count += 1
-                if tlb is not None:
-                    tlb.invalidate(space, vpn)
-        return count
+                dropped.append(vpn)
+        if dropped and self.tlb is not None:
+            self.tlb.invalidate_batch(space, dropped)
+        return len(dropped)
 
     def protect_batch(self, space: int, items) -> None:
         """Change the protection of many existing translations.
@@ -222,6 +239,7 @@ class MMU:
         a missing translation is an error.
         """
         self._check_space(space)
+        touched = []
         for vaddr, prot in items:
             vpn = self.vpn(vaddr)
             mapping = self._entry(space, vpn)
@@ -230,8 +248,9 @@ class MMU:
                     f"protect: no mapping at {vaddr:#x} in space {space}"
                 )
             self._set_entry(space, vpn, Mapping(mapping.frame, prot))
-            if self.tlb is not None:
-                self.tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     def protect(self, space: int, vaddr: int, prot: Prot) -> None:
         """Change the protection of an existing translation."""
@@ -279,9 +298,44 @@ class MMU:
                 self.tlb.fill(space, vpn, mapping)
         if mapping is None:
             raise PageFault(vaddr, write)
-        if not mapping.prot.allows(write, supervisor=supervisor):
+        bits = mapping.bits
+        if (bits & _SYSTEM_BIT and not supervisor) \
+                or not bits & (_WRITE_BIT if write else _READ_BIT):
             raise ProtectionViolation(vaddr, write)
         return mapping.frame * self.page_size + page_off
+
+    def translate_batch(self, space: int, vaddrs, write: bool,
+                        supervisor: bool = True) -> List[int]:
+        """Translate many addresses of one space in order.
+
+        Semantics are those of :meth:`translate` per address — same TLB
+        probe/fill sequence, same PageFault / ProtectionViolation on
+        the first offending address — with the space check and the
+        attribute chases hoisted out of the loop.  The bus and the IPC
+        copy path use this for multi-page transfers.
+        """
+        self._check_space(space)
+        shift = self._page_shift
+        page_size = self.page_size
+        tlb = self.tlb
+        access_bit = _WRITE_BIT if write else _READ_BIT
+        results: List[int] = []
+        append = results.append
+        for vaddr in vaddrs:
+            vpn = vaddr >> shift
+            mapping = tlb.probe(space, vpn) if tlb is not None else None
+            if mapping is None:
+                mapping = self._entry(space, vpn)
+                if mapping is None:
+                    raise PageFault(vaddr, write)
+                if tlb is not None:
+                    tlb.fill(space, vpn, mapping)
+            bits = mapping.bits
+            if (bits & _SYSTEM_BIT and not supervisor) \
+                    or not bits & access_bit:
+                raise ProtectionViolation(vaddr, write)
+            append(mapping.frame * page_size + (vaddr - (vpn << shift)))
+        return results
 
     # -- storage hooks (implemented by each port) -----------------------------------
 

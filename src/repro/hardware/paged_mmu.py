@@ -84,7 +84,7 @@ class PagedMMU(MMU):
         """Bulk map: one directory lookup per second-level table."""
         self._check_space(space)
         directory = self._directories[space]
-        tlb = self.tlb
+        touched = []
         for vaddr, frame, prot in entries:
             if prot == Prot.NONE:
                 raise InvalidOperation(
@@ -96,15 +96,15 @@ class PagedMMU(MMU):
                 table = directory[hi] = {}
                 self.stats.add("table_alloc")
             table[lo] = Mapping(frame, prot)
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     def unmap_batch(self, space: int, vaddrs) -> int:
         """Bulk unmap: table lookups amortized, frees emptied tables."""
         self._check_space(space)
         directory = self._directories[space]
-        tlb = self.tlb
-        count = 0
+        dropped = []
         for vaddr in vaddrs:
             vpn = self.vpn(vaddr)
             hi, lo = self._split(vpn)
@@ -115,10 +115,10 @@ class PagedMMU(MMU):
             if not table:
                 del directory[hi]
                 self.stats.add("table_free")
-            count += 1
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
-        return count
+            dropped.append(vpn)
+        if dropped and self.tlb is not None:
+            self.tlb.invalidate_batch(space, dropped)
+        return len(dropped)
 
     # -- introspection -------------------------------------------------------------
 

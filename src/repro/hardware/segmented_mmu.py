@@ -136,7 +136,7 @@ class SegmentedMMU(MMU):
         descriptor = self._descriptors[space]
         limit = descriptor.limit
         directory = self._directories[space]
-        tlb = self.tlb
+        touched = []
         for vaddr, frame, prot in entries:
             if prot == Prot.NONE:
                 raise InvalidOperation(
@@ -153,15 +153,15 @@ class SegmentedMMU(MMU):
                 table = directory[hi] = {}
                 self.stats.add("table_alloc")
             table[lo] = Mapping(frame, prot)
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
+            touched.append(vpn)
+        if touched and self.tlb is not None:
+            self.tlb.invalidate_batch(space, touched)
 
     def unmap_batch(self, space: int, vaddrs) -> int:
         """Bulk unmap on the linear page tables."""
         self._check_space(space)
         directory = self._directories[space]
-        tlb = self.tlb
-        count = 0
+        dropped = []
         for vaddr in vaddrs:
             vpn = self.vpn(vaddr)
             hi, lo = self._split(self._linear_vpn(space, vpn))
@@ -171,10 +171,10 @@ class SegmentedMMU(MMU):
             del table[lo]
             if not table:
                 del directory[hi]
-            count += 1
-            if tlb is not None:
-                tlb.invalidate(space, vpn)
-        return count
+            dropped.append(vpn)
+        if dropped and self.tlb is not None:
+            self.tlb.invalidate_batch(space, dropped)
+        return len(dropped)
 
     # -- introspection --------------------------------------------------------------
 

@@ -3,12 +3,22 @@
 Optional: an MMU works without one.  When attached, ``translate``
 consults it first; map/unmap/protect shoot down the affected entry.
 Hit/miss statistics feed the MMU-port ablation benchmark.
+
+Internally the TLB is **generation-tagged**: each entry carries the
+generation its space had when it was filled, and ``flush_space`` just
+bumps the space's generation and drops the space's key index — O(1)
+in the TLB capacity instead of a linear scan.  Stale entries (older
+generation than their space) are invisible to ``probe`` and are
+reaped lazily when encountered; because a stale entry is exactly one
+the eager implementation would already have deleted, every observable
+counter (hit/miss/evict/shootdown/space_flush/full_flush) and
+``occupancy`` matches the eager behaviour bit for bit.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.hardware.mmu import Mapping
 from repro.kernel.stats import EventCounter
@@ -21,7 +31,13 @@ class TLB:
         if entries <= 0:
             raise ValueError("TLB must have at least one entry")
         self.capacity = entries
-        self._entries: "OrderedDict[Tuple[int, int], Mapping]" = OrderedDict()
+        # key -> (mapping, generation-at-fill); insertion order is LRU.
+        self._entries: "OrderedDict[Tuple[int, int], Tuple[Mapping, int]]" \
+            = OrderedDict()
+        self._space_gen: Dict[int, int] = {}
+        # Live keys per space: what an eager TLB would actually hold.
+        self._space_keys: Dict[int, Set[Tuple[int, int]]] = {}
+        self._live = 0
         self.stats = EventCounter(registry=registry, namespace="tlb.")
 
     def bind_registry(self, registry) -> None:
@@ -32,46 +48,106 @@ class TLB:
     def probe(self, space: int, vpn: int) -> Optional[Mapping]:
         """Look up a translation; None on miss."""
         key = (space, vpn)
-        mapping = self._entries.get(key)
-        if mapping is None:
-            self.stats.add("miss")
-            return None
-        self._entries.move_to_end(key)
-        self.stats.add("hit")
-        return mapping
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry[1] == self._space_gen.get(space, 0):
+                self._entries.move_to_end(key)
+                self.stats.add("hit")
+                return entry[0]
+            # Stale: a flushed-away entry the eager TLB no longer had.
+            del self._entries[key]
+        self.stats.add("miss")
+        return None
 
     def fill(self, space: int, vpn: int, mapping: Mapping) -> None:
         """Install a translation after a successful table walk."""
         key = (space, vpn)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.add("evict")
-        self._entries[key] = mapping
+        gen = self._space_gen.get(space, 0)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry[1] == gen:
+                self._entries.move_to_end(key)
+                self._entries[key] = (mapping, gen)
+                return
+            # Stale: the eager TLB had already dropped it, so this is
+            # a fresh install — including the capacity eviction.
+            del self._entries[key]
+        if self._live >= self.capacity:
+            self._evict_one()
+        self._track_live(space, key)
+        self._entries[key] = (mapping, gen)
+
+    def fill_batch(self, space: int,
+                   entries: Iterable[Tuple[int, Mapping]]) -> None:
+        """Install several translations of one space in order."""
+        for vpn, mapping in entries:
+            self.fill(space, vpn, mapping)
+
+    def _track_live(self, space: int, key: Tuple[int, int]) -> None:
+        self._space_keys.setdefault(space, set()).add(key)
+        self._live += 1
+
+    def _evict_one(self) -> None:
+        """Pop LRU entries until a *live* one goes (counted); stale
+        entries shed on the way are dropped silently — the eager TLB
+        would already have removed them."""
+        while self._entries:
+            key, (_, gen) = self._entries.popitem(last=False)
+            if gen == self._space_gen.get(key[0], 0):
+                self._space_keys[key[0]].discard(key)
+                self._live -= 1
+                self.stats.add("evict")
+                return
 
     def invalidate(self, space: int, vpn: int) -> None:
         """Shoot down one entry (after map/unmap/protect)."""
-        if self._entries.pop((space, vpn), None) is not None:
+        key = (space, vpn)
+        entry = self._entries.pop(key, None)
+        if entry is not None and entry[1] == self._space_gen.get(space, 0):
+            self._space_keys[space].discard(key)
+            self._live -= 1
             self.stats.add("shootdown")
 
+    def invalidate_batch(self, space: int, vpns: Iterable[int]) -> None:
+        """Shoot down several entries of one space (one call from the
+        MMU batch ops instead of a per-page loop)."""
+        gen = self._space_gen.get(space, 0)
+        keys = self._space_keys.get(space)
+        entries = self._entries
+        dropped = 0
+        for vpn in vpns:
+            key = (space, vpn)
+            entry = entries.pop(key, None)
+            if entry is not None and entry[1] == gen:
+                keys.discard(key)
+                dropped += 1
+        if dropped:
+            self._live -= dropped
+            self.stats.add("shootdown", dropped)
+
     def flush_space(self, space: int) -> None:
-        """Drop every entry belonging to *space*."""
-        stale = [key for key in self._entries if key[0] == space]
-        for key in stale:
-            del self._entries[key]
-        if stale:
+        """Drop every entry belonging to *space* — O(1) in capacity:
+        bump the space generation and forget its key index; the now-
+        stale entries are reaped lazily."""
+        keys = self._space_keys.pop(space, None)
+        if keys:
+            self._space_gen[space] = self._space_gen.get(space, 0) + 1
+            self._live -= len(keys)
             self.stats.add("space_flush")
 
     def flush(self) -> None:
         """Drop everything."""
         self._entries.clear()
+        self._space_keys.clear()
+        self._space_gen.clear()
+        self._live = 0
         self.stats.add("full_flush")
 
     @property
     def occupancy(self) -> int:
-        """Entries currently cached."""
-        return len(self._entries)
+        """Entries currently cached (live — stale ones are already
+        gone as far as any observer is concerned)."""
+        return self._live
 
     def hit_rate(self) -> float:
         """Fraction of probes that hit (0.0 when never probed)."""

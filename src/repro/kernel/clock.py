@@ -139,6 +139,7 @@ class VirtualClock:
         self.registry = registry or MetricsRegistry()
         self.counter = EventCounter(registry=self.registry)
         self._listeners = ()
+        self._capture: Optional[list] = None
 
     # -- time ---------------------------------------------------------------
 
@@ -150,6 +151,9 @@ class VirtualClock:
         """Record *count* occurrences of *event*; return the cost added."""
         if count <= 0:
             return 0.0
+        if self._capture is not None:
+            self._capture.append((event, count))
+            return 0.0
         start = self._now_ms
         self.counter.add(event.value, count)
         cost = self.model.price(event) * count
@@ -158,6 +162,22 @@ class VirtualClock:
             for listener in self._listeners:
                 listener(start, event, count)
         return cost
+
+    def capture(self) -> "CaptureRegion":
+        """Divert charges into a list instead of applying them.
+
+        While the returned context manager is active, :meth:`charge`
+        appends ``(event, count)`` to ``region.charges`` — no time
+        advances, no counter moves, no listener fires.  A caller can
+        later replay (or discard) the recorded charges; the fault-
+        clustering prefetcher uses this to speculate without touching
+        the golden virtual-time accounting.  :meth:`advance` during a
+        capture marks the region ``tainted`` (the advanced time is
+        still diverted, recorded as an ``(None, ms)`` entry) because an
+        opaque latency cannot be re-attributed per page.  Captures do
+        not nest.
+        """
+        return CaptureRegion(self)
 
     # -- charge listeners ----------------------------------------------------
 
@@ -178,6 +198,9 @@ class VirtualClock:
         """Advance virtual time directly (e.g. simulated disk latency)."""
         if milliseconds < 0:
             raise ValueError("cannot move virtual time backwards")
+        if self._capture is not None:
+            self._capture.append((None, milliseconds))
+            return
         self._now_ms += milliseconds
 
     # -- bookkeeping ----------------------------------------------------------
@@ -197,6 +220,33 @@ class VirtualClock:
 
     def __repr__(self) -> str:
         return f"VirtualClock(t={self._now_ms:.3f}ms, model={self.model.name})"
+
+
+class CaptureRegion:
+    """Context manager diverting clock charges into ``self.charges``.
+
+    ``charges`` holds ``(CostEvent, count)`` tuples in charge order;
+    an ``advance`` made while capturing shows up as ``(None, ms)``.
+    ``tainted`` is True when any advance was diverted — a capture that
+    cannot be replayed as discrete events.
+    """
+
+    def __init__(self, clock: VirtualClock):
+        self.clock = clock
+        self.charges: list = []
+
+    @property
+    def tainted(self) -> bool:
+        return any(event is None for event, _ in self.charges)
+
+    def __enter__(self) -> "CaptureRegion":
+        if self.clock._capture is not None:
+            raise RuntimeError("clock captures do not nest")
+        self.clock._capture = self.charges
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.clock._capture = None
 
 
 class ClockRegion:

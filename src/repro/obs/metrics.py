@@ -145,6 +145,13 @@ class MetricsRegistry:
         #: a precomputed ``name{k=v}`` key never re-split the string.
         self._series_base: Dict[str, str] = {}
         self.generation = 0
+        #: When False the write paths (inc / set_gauge / observe)
+        #: return after a single attribute check: the idle fast path.
+        #: Every counter an event-heavy run would have produced is
+        #: simply absent, so pause a registry only around code whose
+        #: metrics nobody will read (the bench harness does this for
+        #: its timed repeats; the instrumented pass re-enables).
+        self.enabled = True
 
     def _base_of(self, name: str) -> Optional[str]:
         """Base (rollup) name of a labeled series key, None when plain."""
@@ -165,6 +172,8 @@ class MetricsRegistry:
         both the labeled series and the plain-name rollup advance, so
         aggregate consumers are unaffected by the decomposition.
         """
+        if not self.enabled:
+            return
         if labels:
             name = series_name(name, labels)
         with self._lock:
@@ -237,6 +246,8 @@ class MetricsRegistry:
         A labeled gauge has no meaningful rollup (last-write-wins does
         not aggregate), so only the labeled series is written.
         """
+        if not self.enabled:
+            return
         if labels:
             name = series_name(name, labels)
         with self._lock:
@@ -259,6 +270,8 @@ class MetricsRegistry:
         With *labels* the observation lands in both the labeled series
         and the plain-name rollup histogram.
         """
+        if not self.enabled:
+            return
         if labels:
             name = series_name(name, labels)
         with self._lock:

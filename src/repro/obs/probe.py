@@ -41,6 +41,10 @@ class Probe:
         self._stack: List[Span] = []
         self._next_span_id = 1
         self._listening = False
+        # Memoized "tracing is off" flag: span() — called on every
+        # fault, pull-in and eviction — pays one attribute check
+        # instead of chasing sink.enabled each time.
+        self._span_off = not self.sink.enabled
         if self.sink.enabled and self.clock is not None:
             self._attach_clock()
 
@@ -60,6 +64,7 @@ class Probe:
         """
         previous = self.sink
         self.sink = sink if sink is not None else NULL_SINK
+        self._span_off = not self.sink.enabled
         if self.sink.enabled and self.clock is not None:
             self._attach_clock()
         elif not self.sink.enabled:
@@ -113,7 +118,7 @@ class Probe:
         Returns the shared no-op span when tracing is disabled — test
         with ``if span:`` before doing attribute-only work.
         """
-        if not self.sink.enabled:
+        if self._span_off:
             return NOOP_SPAN
         parent = self._stack[-1] if self._stack else None
         span = Span(
@@ -165,6 +170,32 @@ class Probe:
         return f"Probe(tracing={state}, {self.registry!r})"
 
 
+class _IdleProbe(Probe):
+    """The shared unwired probe: every verb is a constant-time no-op.
+
+    Components constructed without a manager (stand-alone IPC ports,
+    DSM providers before adoption) hold this instead of a real probe;
+    their hot paths then cost one attribute check per event rather
+    than label-dict construction and registry locking into a
+    throwaway registry.
+    """
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def span(self, name: str):
+        return NOOP_SPAN
+
+    def event(self, name: str, count: int = 1) -> None:
+        pass
+
+
 #: A do-nothing probe for components constructed without a manager
-#: (tracing off, metrics land in a throwaway registry).
-NULL_PROBE = Probe()
+#: (tracing off, metrics dropped on the floor).
+NULL_PROBE = _IdleProbe()

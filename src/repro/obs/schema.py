@@ -47,9 +47,12 @@ SNAPSHOT_SCHEMA = {
             "type": "object",
             # The staged fault engine's per-stage counters (one per
             # executed pipeline stage: locate, authorize, resolve,
-            # materialize, install).
+            # materialize, install) and the fault-clustering counters
+            # (faults_saved / window / wasted_prefault, plus their
+            # labeled series).
             "patternProperties": {
                 r"^engine\.stage\.": {"type": "integer", "minimum": 0},
+                r"^engine\.cluster\.": {"type": "integer", "minimum": 0},
             },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },

@@ -26,6 +26,7 @@ from repro.kernel.sync import HostSync, NullSync
 from repro.obs import Probe
 from repro.pvm.cache import PvmCache
 from repro.pvm.cacheops import CacheOpsMixin
+from repro.pvm.cluster import ClusterMixin
 from repro.pvm.context import PvmContext
 from repro.pvm.fault import FaultMixin
 from repro.pvm.global_map import GlobalMap
@@ -41,7 +42,8 @@ from repro.units import DEFAULT_PAGE_SIZE, DEFAULT_PHYSICAL_MEMORY, KB
 
 
 class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
-                         FaultMixin, PageoutMixin, MemoryManager):
+                         ClusterMixin, FaultMixin, PageoutMixin,
+                         MemoryManager):
     """The PVM (section 4): demand paging, history objects, per-page COW.
 
     Parameters
@@ -84,7 +86,8 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                  default_provider: Optional[SegmentProvider] = None,
                  reclaim_batch: int = 8,
                  replacement_policy=None,
-                 probe: Optional[Probe] = None):
+                 probe: Optional[Probe] = None,
+                 cluster_policy=None):
         self.memory = memory or build_physical_memory(memory_size, page_size)
         self.clock = clock or VirtualClock()
         if mmu is None:
@@ -106,6 +109,9 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         #: the shared staged fault-resolution pipeline (repro.engine);
         #: all three backends resolve faults through it.
         self.engine = FaultPipeline(self)
+        #: fault clustering (read-ahead prefaulting); "off" by default
+        #: — pass "fixed[:N]" / "adaptive" / a ClusterPolicy to enable.
+        self._cluster_init(cluster_policy)
         self.global_map = GlobalMap(self.memory.page_size)
         self.default_provider = default_provider or ZeroFillProvider()
         self.per_page_threshold = per_page_threshold
@@ -384,6 +390,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
 
     def _release_cache(self, cache: PvmCache) -> None:
         """Final destruction: free pages, unlink from the tree."""
+        self._cluster_cancel_cache(cache)
         # Per-page stubs that reference this cache's data must get
         # their private copies before the data goes away.
         for stub in list(cache.incoming_stubs):

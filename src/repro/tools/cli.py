@@ -203,7 +203,8 @@ def cmd_bench(args) -> int:
     current = None
     if args.record:
         current = record(args.out, workloads=workloads, backends=backends,
-                         repeats=args.repeats, label=args.label)
+                         repeats=args.repeats, label=args.label,
+                         cluster=args.cluster)
         print(f"recorded {len(current['results'])} cells to {args.out}")
     if args.compare:
         baseline = load(args.compare)
@@ -212,7 +213,8 @@ def cmd_bench(args) -> int:
                 current = load(args.current)
             else:
                 current = run_suite(workloads=workloads, backends=backends,
-                                    repeats=args.repeats, label=args.label)
+                                    repeats=args.repeats, label=args.label,
+                                    cluster=args.cluster)
         report = compare(baseline, current, threshold=args.threshold)
         print(format_compare(report))
         if report["regressions"]:
@@ -349,8 +351,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record and/or compare flight-recorder runs")
     bench.add_argument("--record", action="store_true",
                        help="run the suite and write the result document")
-    bench.add_argument("--out", default="BENCH_4.json", metavar="FILE",
-                       help="where --record writes (default: BENCH_4.json)")
+    bench.add_argument("--out", default="BENCH_5.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_5.json)")
+    bench.add_argument("--cluster", default="adaptive",
+                       choices=("off", "fixed", "adaptive"),
+                       help="fault-clustering (read-ahead) policy for "
+                            "the run (default: adaptive); virtual times "
+                            "are identical across settings by design")
     bench.add_argument("--compare", default=None, metavar="BASELINE",
                        help="baseline document to gate against")
     bench.add_argument("--current", default=None, metavar="FILE",
@@ -374,12 +381,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify.add_argument("--baseline", default=None, metavar="FILE",
                         help="bench baseline (default: newest "
                              "BENCH_*.json at the repo root)")
-    verify.add_argument("--threshold", type=float, default=1.5,
+    verify.add_argument("--threshold", type=float, default=2.0,
                         help="wall-time regression gate, as a ratio "
-                             "(default: 1.5)")
-    verify.add_argument("--repeats", type=int, default=3,
+                             "(default: 2.0 — shared hosts swing "
+                             "~1.9x between fast and slow windows; "
+                             "virtual time is gated exactly by the "
+                             "golden tests, not here)")
+    verify.add_argument("--repeats", type=int, default=5,
                         help="wall-time samples per bench cell "
-                             "(default: 3)")
+                             "(default: 5 — the checked-in baselines "
+                             "are best-of-10, so a short current run "
+                             "reads high on a noisy host)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

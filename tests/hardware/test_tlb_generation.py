@@ -1,0 +1,166 @@
+"""Generation-tagged TLB: O(1) space flush, batch shootdowns, parity.
+
+The TLB no longer walks its whole capacity on ``flush_space``: it
+bumps the space's generation and reaps stale entries lazily.  These
+tests pin the observable contract — counters, occupancy and probe
+results must be exactly those of the eager implementation.
+"""
+
+import pytest
+
+from repro.hardware.mmu import Mapping, Prot
+from repro.hardware.paged_mmu import PagedMMU
+from repro.hardware.tlb import TLB
+from repro.units import KB
+
+PAGE = 8 * KB
+
+
+class TestFlushSpaceGenerations:
+    def test_flush_space_empties_without_touching_others(self):
+        tlb = TLB(entries=8)
+        for vpn in range(3):
+            tlb.fill(1, vpn, Mapping(vpn, Prot.READ))
+        tlb.fill(2, 0, Mapping(9, Prot.READ))
+        tlb.flush_space(1)
+        assert tlb.occupancy == 1
+        assert all(tlb.probe(1, vpn) is None for vpn in range(3))
+        assert tlb.probe(2, 0) is not None
+
+    def test_flush_space_counts_once_and_only_when_nonempty(self):
+        tlb = TLB(entries=8)
+        tlb.flush_space(1)                    # nothing cached: no event
+        assert tlb.stats.get("space_flush") == 0
+        tlb.fill(1, 0, Mapping(0, Prot.READ))
+        tlb.fill(1, 1, Mapping(1, Prot.READ))
+        tlb.flush_space(1)
+        assert tlb.stats.get("space_flush") == 1
+
+    def test_refill_after_flush_works(self):
+        tlb = TLB(entries=4)
+        tlb.fill(1, 0, Mapping(0, Prot.READ))
+        tlb.flush_space(1)
+        tlb.fill(1, 0, Mapping(5, Prot.RW))
+        hit = tlb.probe(1, 0)
+        assert hit is not None and hit.frame == 5
+
+    def test_stale_entries_do_not_count_as_evictions(self):
+        # Fill to capacity, flush the space, then refill: the stale
+        # slots are reaped silently — an eager TLB would have empty
+        # slots, so no "evict" events may be counted.
+        tlb = TLB(entries=4)
+        for vpn in range(4):
+            tlb.fill(1, vpn, Mapping(vpn, Prot.READ))
+        tlb.flush_space(1)
+        for vpn in range(4):
+            tlb.fill(1, vpn + 10, Mapping(vpn, Prot.READ))
+        assert tlb.stats.get("evict") == 0
+        assert tlb.occupancy == 4
+
+    def test_capacity_eviction_still_counts_with_stale_entries_present(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 0, Mapping(0, Prot.READ))
+        tlb.fill(2, 0, Mapping(1, Prot.READ))
+        tlb.flush_space(1)                    # slot 0 now stale
+        tlb.fill(2, 1, Mapping(2, Prot.READ))  # takes the stale slot
+        assert tlb.stats.get("evict") == 0
+        tlb.fill(2, 2, Mapping(3, Prot.READ))  # evicts a live entry
+        assert tlb.stats.get("evict") == 1
+
+
+class TestShootdownParity:
+    """Batch invalidations must count exactly like per-page ones."""
+
+    def _loaded(self, entries=32):
+        tlb = TLB(entries=entries)
+        for vpn in range(8):
+            tlb.fill(1, vpn, Mapping(vpn, Prot.RW))
+        return tlb
+
+    def test_invalidate_batch_counts_live_drops_only(self):
+        batched = self._loaded()
+        batched.invalidate_batch(1, list(range(6)) + [100, 200])
+        eager = self._loaded()
+        for vpn in list(range(6)) + [100, 200]:
+            eager.invalidate(1, vpn)
+        assert batched.stats.get("shootdown") == \
+            eager.stats.get("shootdown") == 6
+        assert batched.occupancy == eager.occupancy == 2
+
+    def test_unmap_range_shootdown_parity(self):
+        def rig():
+            tlb = TLB(entries=16)
+            mmu = PagedMMU(page_size=PAGE, tlb=tlb)
+            space = mmu.create_space()
+            for index in range(8):
+                mmu.map(space, index * PAGE, index, Prot.RW)
+                mmu.translate(space, index * PAGE, write=False)
+            return mmu, tlb, space
+
+        ranged_mmu, ranged_tlb, space = rig()
+        ranged_mmu.unmap_range(space, 0, 5 * PAGE)
+        eager_mmu, eager_tlb, space2 = rig()
+        for index in range(5):
+            eager_mmu.unmap(space2, index * PAGE)
+        assert ranged_tlb.stats.get("shootdown") == \
+            eager_tlb.stats.get("shootdown") == 5
+        assert ranged_tlb.occupancy == eager_tlb.occupancy == 3
+
+    def test_protect_batch_shootdown_parity(self):
+        def rig():
+            tlb = TLB(entries=16)
+            mmu = PagedMMU(page_size=PAGE, tlb=tlb)
+            space = mmu.create_space()
+            for index in range(4):
+                mmu.map(space, index * PAGE, index, Prot.RW)
+                mmu.translate(space, index * PAGE, write=True)
+            return mmu, tlb, space
+
+        batch_mmu, batch_tlb, space = rig()
+        batch_mmu.protect_batch(
+            space, [(index * PAGE, Prot.READ) for index in range(4)])
+        eager_mmu, eager_tlb, space2 = rig()
+        for index in range(4):
+            eager_mmu.protect(space2, index * PAGE, Prot.READ)
+        assert batch_tlb.stats.get("shootdown") == \
+            eager_tlb.stats.get("shootdown") == 4
+        # Either way the stale RW entries must be gone.
+        for index in range(4):
+            assert batch_tlb.probe(space, index) is None
+
+
+class TestTranslateBatch:
+    @pytest.fixture
+    def rig(self):
+        tlb = TLB(entries=8)
+        mmu = PagedMMU(page_size=PAGE, tlb=tlb)
+        space = mmu.create_space()
+        for index in range(4):
+            mmu.map(space, index * PAGE, 10 + index, Prot.RW)
+        return mmu, tlb, space
+
+    def test_matches_per_address_translate(self, rig):
+        mmu, tlb, space = rig
+        vaddrs = [index * PAGE + 17 for index in range(4)]
+        batch = mmu.translate_batch(space, vaddrs, write=False)
+        singles = [mmu.translate(space, vaddr, write=False)
+                   for vaddr in vaddrs]
+        assert batch == singles
+
+    def test_fills_tlb_like_singles(self, rig):
+        mmu, tlb, space = rig
+        vaddrs = [index * PAGE for index in range(4)]
+        mmu.translate_batch(space, vaddrs, write=False)
+        assert tlb.stats.get("miss") == 4
+        mmu.translate_batch(space, vaddrs, write=False)
+        assert tlb.stats.get("hit") == 4
+
+    def test_raises_at_first_offender(self, rig):
+        from repro.errors import PageFault, ProtectionViolation
+
+        mmu, tlb, space = rig
+        with pytest.raises(PageFault):
+            mmu.translate_batch(space, [0, 100 * PAGE], write=False)
+        mmu.protect(space, 2 * PAGE, Prot.READ)
+        with pytest.raises(ProtectionViolation):
+            mmu.translate_batch(space, [0, 2 * PAGE], write=True)
