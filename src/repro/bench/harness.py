@@ -300,6 +300,40 @@ def _writeback_storm_body(state: dict) -> None:
         daemon.tick()
 
 
+#: Pages in the ``huge_map`` sparse region: large enough that any
+#: per-page representation or O(pages) walk in the map path would blow
+#: the wall-time budget, small enough that the O(extents) path is
+#: instant.
+HUGE_MAP_PAGES = 1_000_000
+
+HUGE_MAP_TOUCHES = 64
+
+
+def _huge_map_setup(backend: str, cluster=None) -> dict:
+    state = _nucleus_state(backend, cluster)
+    state["actor"] = state["nucleus"].create_actor("bench")
+    return state
+
+
+def _huge_map_body(state: dict) -> None:
+    # PR-6 extent cell: map, sparsely touch, then unmap a million-page
+    # region.  The region map and the run-length page table keep this
+    # O(extents): creation is one interval insert, the 64 touches are
+    # ordinary faults, and teardown invalidates the range with one
+    # batched unmap (the per-page invalidation *charges* remain — the
+    # paper's measured scaling — but no per-page structure is walked).
+    # The "minimal" backend maps regions eagerly, so it sits this one
+    # out by design.
+    nucleus, actor = state["nucleus"], state["actor"]
+    page_size = nucleus.vm.page_size
+    region = nucleus.rgn_allocate(actor, HUGE_MAP_PAGES * page_size,
+                                  address=REGION_BASE)
+    stride = (HUGE_MAP_PAGES // HUGE_MAP_TOUCHES) * page_size
+    for index in range(HUGE_MAP_TOUCHES):
+        actor.write(REGION_BASE + index * stride, b"\x01")
+    nucleus.rgn_free(actor, region)
+
+
 #: The named suite, in recording order.
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload for workload in (
@@ -338,6 +372,10 @@ WORKLOADS: Dict[str, Workload] = {
                  "with mid-storm re-dirtying",
                  ("pvm", "mach"), _writeback_storm_setup,
                  _writeback_storm_body),
+        Workload("huge_map",
+                 "map, sparsely touch and unmap a million-page "
+                 "region (extent-representation stress)",
+                 ("pvm", "mach"), _huge_map_setup, _huge_map_body),
     )
 }
 

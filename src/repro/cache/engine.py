@@ -45,7 +45,8 @@ class CacheEngine:
         # NB: `policy or default` would be wrong — an empty policy has
         # len() == 0 and is falsy.
         self.residency = ResidencyIndex(
-            SecondChancePolicy() if policy is None else policy)
+            SecondChancePolicy() if policy is None else policy,
+            page_size=vm.page_size)
         #: Optional hard residency budget (pages).  When set, inserting
         #: past the budget triggers an immediate reclaim; pinned pages
         #: can still push residency above it (they are unevictable).

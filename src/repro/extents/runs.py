@@ -1,0 +1,143 @@
+"""Run-length encoded integer sets.
+
+An :class:`ExtentSet` stores a set of integers as sorted, disjoint,
+non-adjacent half-open runs ``[start, end)`` held in two parallel
+lists.  Membership is a binary search; insertion and removal splice
+whole runs, so a contiguous million-element range is one run — O(runs)
+memory whatever the element count.  The element count itself is
+maintained incrementally (``len`` is O(1)).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+
+class ExtentSet:
+    """A set of integers as disjoint half-open runs."""
+
+    __slots__ = ("_starts", "_ends", "_total")
+
+    def __init__(self, runs: Iterable[Tuple[int, int]] = ()):
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._total = 0
+        for start, length in runs:
+            self.add_range(start, start + length)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, value: int) -> None:
+        """Add one integer."""
+        self.add_range(value, value + 1)
+
+    def add_range(self, start: int, end: int) -> None:
+        """Add every integer in ``[start, end)``, coalescing with any
+        overlapping or adjacent runs."""
+        if end <= start:
+            return
+        starts, ends = self._starts, self._ends
+        # Window of runs that overlap *or touch* [start, end): the
+        # first run ending at/after start, through the last run
+        # starting at/before end.
+        lo = bisect_left(ends, start)
+        hi = bisect_right(starts, end)
+        if lo == hi:
+            starts.insert(lo, start)
+            ends.insert(lo, end)
+            self._total += end - start
+            return
+        merged_start = min(start, starts[lo])
+        merged_end = max(end, ends[hi - 1])
+        absorbed = sum(ends[k] - starts[k] for k in range(lo, hi))
+        starts[lo:hi] = [merged_start]
+        ends[lo:hi] = [merged_end]
+        self._total += (merged_end - merged_start) - absorbed
+
+    def discard(self, value: int) -> int:
+        """Remove one integer; return 1 when it was present, else 0."""
+        return self.discard_range(value, value + 1)
+
+    def discard_range(self, start: int, end: int) -> int:
+        """Remove every integer in ``[start, end)``; return how many
+        were present.  A removal from the middle of a run splits it."""
+        if end <= start:
+            return 0
+        starts, ends = self._starts, self._ends
+        # Strictly overlapping runs only (adjacency is irrelevant here).
+        lo = bisect_right(ends, start)
+        hi = bisect_left(starts, end)
+        if lo >= hi:
+            return 0
+        removed = sum(min(ends[k], end) - max(starts[k], start)
+                      for k in range(lo, hi))
+        keep_starts: List[int] = []
+        keep_ends: List[int] = []
+        if starts[lo] < start:
+            keep_starts.append(starts[lo])
+            keep_ends.append(start)
+        if ends[hi - 1] > end:
+            keep_starts.append(end)
+            keep_ends.append(ends[hi - 1])
+        starts[lo:hi] = keep_starts
+        ends[lo:hi] = keep_ends
+        self._total -= removed
+        return removed
+
+    def clear(self) -> None:
+        """Remove everything."""
+        del self._starts[:]
+        del self._ends[:]
+        self._total = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def __contains__(self, value: int) -> bool:
+        index = bisect_right(self._starts, value) - 1
+        return index >= 0 and value < self._ends[index]
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    @property
+    def run_count(self) -> int:
+        """Number of maximal runs currently stored."""
+        return len(self._starts)
+
+    def runs(self) -> List[Tuple[int, int]]:
+        """All runs as ``(start, length)`` pairs, in ascending order."""
+        return [(start, end - start)
+                for start, end in zip(self._starts, self._ends)]
+
+    def runs_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Runs clipped to ``[start, end)``, as ``(start, length)``."""
+        if end <= start:
+            return []
+        starts, ends = self._starts, self._ends
+        lo = bisect_right(ends, start)
+        hi = bisect_left(starts, end)
+        return [(max(starts[k], start),
+                 min(ends[k], end) - max(starts[k], start))
+                for k in range(lo, hi)]
+
+    def count_in(self, start: int, end: int) -> int:
+        """How many members fall in ``[start, end)``."""
+        return sum(length for _, length in self.runs_in(start, end))
+
+    def __iter__(self) -> Iterator[int]:
+        for start, end in zip(self._starts, self._ends):
+            yield from range(start, end)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ExtentSet):
+            return self._starts == other._starts and \
+                self._ends == other._ends
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"ExtentSet({self._total} members in "
+                f"{len(self._starts)} runs)")

@@ -136,8 +136,20 @@ class Cache:
         """Occupancy and traffic counters of this cache."""
         raise NotImplementedError
 
+    def resident_extents(self) -> Sequence[tuple]:
+        """Resident data as sorted, disjoint ``(offset, length)`` byte
+        runs — the canonical residency introspection (docs/API.md).
+        A fully-resident million-page cache answers in O(extents),
+        not O(pages)."""
+        raise NotImplementedError
+
     def resident_offsets(self) -> Sequence[int]:
-        """Page-aligned offsets currently resident, sorted."""
+        """Page-aligned offsets currently resident, sorted.
+
+        .. deprecated:: PR-6
+           Use :meth:`resident_extents`; a per-page offset list costs
+           O(pages) however contiguous the residency is.
+        """
         raise NotImplementedError
 
 
@@ -196,8 +208,17 @@ class Context:
         """Regions of the context, sorted by start address."""
         raise NotImplementedError
 
+    def regions_overlapping(self, address: int, size: int) -> List[Region]:
+        """Regions overlapping [address, address+size), sorted by
+        start address — the canonical range query (docs/API.md)."""
+        raise NotImplementedError
+
     def find_region(self, address: int) -> Optional[Region]:
-        """Region containing *address*, or None."""
+        """Region containing *address*, or None.
+
+        .. deprecated:: PR-6
+           Use :meth:`regions_overlapping`\\ ``(address, 1)``.
+        """
         raise NotImplementedError
 
     def switch(self) -> None:

@@ -201,6 +201,40 @@ class MMU:
 
     # -- batched operations (the hardware layer's bulk primitives) ------------------
 
+    def map_run(self, space: int, vaddr: int, count: int, frame: int,
+                prot: Prot) -> None:
+        """Install *count* translations for consecutive pages starting
+        at *vaddr*, backed by consecutive frames starting at *frame*,
+        all with *prot* — the extent-granular port call.
+
+        Semantics are those of :meth:`map` per page.  The base
+        implementation loops; run-aware ports (the paged port) store
+        the whole run as a single table entry.
+        """
+        self._check_space(space)
+        if prot == Prot.NONE:
+            raise InvalidOperation("mapping with no access bits; use unmap")
+        if count <= 0:
+            return
+        vpn = self.vpn(vaddr)
+        for index in range(count):
+            self._set_entry(space, vpn + index, Mapping(frame + index, prot))
+        if self.tlb is not None:
+            self.tlb.invalidate_range(space, vpn, count)
+
+    def protect_range(self, space: int, vaddr: int, count: int,
+                      prot: Prot) -> None:
+        """Change the protection of *count* consecutive existing
+        translations starting at *vaddr* — like :meth:`protect` per
+        page; a missing translation is an error."""
+        if count <= 0:
+            self._check_space(space)
+            return
+        page_size = self.page_size
+        self.protect_batch(
+            space, ((vaddr + index * page_size, prot)
+                    for index in range(count)))
+
     def map_batch(self, space: int, entries) -> None:
         """Install many translations at once.
 

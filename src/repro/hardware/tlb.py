@@ -13,12 +13,21 @@ reaped lazily when encountered; because a stale entry is exactly one
 the eager implementation would already have deleted, every observable
 counter (hit/miss/evict/shootdown/space_flush/full_flush) and
 ``occupancy`` matches the eager behaviour bit for bit.
+
+The TLB also supports **extent-granular entries** (opt-in via the
+keyword-only ``run_entries`` capacity): one run entry covers a whole
+contiguous vpn->pfn run with uniform protection, probed when the exact
+per-page array misses.  Run entries are conservative on invalidation —
+any overlap drops the whole run — so they can never return a stale
+translation.  With ``run_entries=0`` (the default) every counter and
+behaviour is exactly that of the page-granular TLB.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Set, Tuple
+from bisect import bisect_right, insort
+from collections import OrderedDict, deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.hardware.mmu import Mapping
 from repro.kernel.stats import EventCounter
@@ -27,7 +36,8 @@ from repro.kernel.stats import EventCounter
 class TLB:
     """Translation lookaside buffer: (space, vpn) -> Mapping, LRU."""
 
-    def __init__(self, entries: int = 64, registry=None):
+    def __init__(self, entries: int = 64, registry=None, *,
+                 run_entries: int = 0):
         if entries <= 0:
             raise ValueError("TLB must have at least one entry")
         self.capacity = entries
@@ -38,6 +48,12 @@ class TLB:
         # Live keys per space: what an eager TLB would actually hold.
         self._space_keys: Dict[int, Set[Tuple[int, int]]] = {}
         self._live = 0
+        #: extent-granular entries: space -> sorted [start, end, frame,
+        #: prot] runs.  Empty unless run_entries > 0.
+        self.run_capacity = run_entries
+        self._runs: Dict[int, List[List[int]]] = {}
+        self._run_fifo: "deque[Tuple[int, int]]" = deque()
+        self._run_count = 0
         self.stats = EventCounter(registry=registry, namespace="tlb.")
 
     def bind_registry(self, registry) -> None:
@@ -56,6 +72,12 @@ class TLB:
                 return entry[0]
             # Stale: a flushed-away entry the eager TLB no longer had.
             del self._entries[key]
+        if self._runs:
+            mapping = self._probe_runs(space, vpn)
+            if mapping is not None:
+                self.stats.add("hit")
+                self.stats.add("run_hit")
+                return mapping
         self.stats.add("miss")
         return None
 
@@ -99,6 +121,79 @@ class TLB:
                 self.stats.add("evict")
                 return
 
+    # -- extent-granular entries -------------------------------------------------
+
+    def fill_run(self, space: int, start_vpn: int, count: int,
+                 base_frame: int, prot) -> None:
+        """Install one extent entry covering ``count`` pages from
+        *start_vpn* mapped to contiguous frames from *base_frame*.
+        No-op unless the TLB was built with ``run_entries > 0``."""
+        if self.run_capacity <= 0 or count <= 0:
+            return
+        self._drop_runs(space, start_vpn, start_vpn + count)
+        runs = self._runs.setdefault(space, [])
+        insort(runs, [start_vpn, start_vpn + count, base_frame, prot])
+        self._run_fifo.append((space, start_vpn))
+        self._run_count += 1
+        while self._run_count > self.run_capacity:
+            self._evict_run()
+
+    def _probe_runs(self, space: int, vpn: int) -> Optional[Mapping]:
+        runs = self._runs.get(space)
+        if not runs:
+            return None
+        index = bisect_right(runs, [vpn + 1]) - 1
+        if index >= 0:
+            start, end, frame, prot = runs[index]
+            if start <= vpn < end:
+                return Mapping(frame + (vpn - start), prot)
+        return None
+
+    def _drop_runs(self, space: int, start_vpn: int, end_vpn: int) -> None:
+        """Drop every run entry of *space* overlapping [start_vpn,
+        end_vpn) — conservative whole-run invalidation."""
+        runs = self._runs.get(space)
+        if not runs:
+            return
+        survivors = [run for run in runs
+                     if run[1] <= start_vpn or run[0] >= end_vpn]
+        if len(survivors) != len(runs):
+            self._run_count -= len(runs) - len(survivors)
+            if survivors:
+                self._runs[space] = survivors
+            else:
+                del self._runs[space]
+
+    def _drop_space_runs(self, space: int) -> None:
+        runs = self._runs.pop(space, None)
+        if runs:
+            self._run_count -= len(runs)
+
+    def _evict_run(self) -> None:
+        while self._run_fifo:
+            space, start_vpn = self._run_fifo.popleft()
+            runs = self._runs.get(space)
+            if not runs:
+                continue
+            index = bisect_right(runs, [start_vpn + 1]) - 1
+            # The FIFO may reference a run already invalidated (or one
+            # re-filled at the same start); only a live exact match is
+            # an eviction.
+            if 0 <= index < len(runs) and runs[index][0] == start_vpn:
+                del runs[index]
+                if not runs:
+                    del self._runs[space]
+                self._run_count -= 1
+                self.stats.add("run_evict")
+                return
+
+    @property
+    def run_occupancy(self) -> int:
+        """Extent entries currently cached."""
+        return self._run_count
+
+    # -- invalidation ------------------------------------------------------------
+
     def invalidate(self, space: int, vpn: int) -> None:
         """Shoot down one entry (after map/unmap/protect)."""
         key = (space, vpn)
@@ -107,6 +202,8 @@ class TLB:
             self._space_keys[space].discard(key)
             self._live -= 1
             self.stats.add("shootdown")
+        if self._runs:
+            self._drop_runs(space, vpn, vpn + 1)
 
     def invalidate_batch(self, space: int, vpns: Iterable[int]) -> None:
         """Shoot down several entries of one space (one call from the
@@ -121,9 +218,51 @@ class TLB:
             if entry is not None and entry[1] == gen:
                 keys.discard(key)
                 dropped += 1
+            if self._runs:
+                self._drop_runs(space, vpn, vpn + 1)
         if dropped:
             self._live -= dropped
             self.stats.add("shootdown", dropped)
+
+    def invalidate_range(self, space: int, start_vpn: int,
+                         count: int) -> int:
+        """Shoot down every entry in ``[start_vpn, start_vpn+count)``
+        with one call — the extent-granular shootdown.  Cost is
+        O(min(count, live entries of the space)), never O(count) alone,
+        so invalidating a million-page range with three cached
+        translations touches three entries.  Returns how many live
+        entries were dropped (counted as ``shootdown``s, exactly as the
+        per-page batch would)."""
+        if count <= 0:
+            return 0
+        end_vpn = start_vpn + count
+        keys = self._space_keys.get(space)
+        dropped = 0
+        if keys:
+            if len(keys) <= count:
+                victims = [key for key in keys
+                           if start_vpn <= key[1] < end_vpn]
+                for key in victims:
+                    # Keys index only live entries, so each victim is a
+                    # guaranteed drop (stale ones reap lazily, as ever).
+                    del self._entries[key]
+                    keys.discard(key)
+                dropped = len(victims)
+            else:
+                gen = self._space_gen.get(space, 0)
+                entries = self._entries
+                for vpn in range(start_vpn, end_vpn):
+                    key = (space, vpn)
+                    entry = entries.pop(key, None)
+                    if entry is not None and entry[1] == gen:
+                        keys.discard(key)
+                        dropped += 1
+        if dropped:
+            self._live -= dropped
+            self.stats.add("shootdown", dropped)
+        if self._runs:
+            self._drop_runs(space, start_vpn, end_vpn)
+        return dropped
 
     def flush_space(self, space: int) -> None:
         """Drop every entry belonging to *space* — O(1) in capacity:
@@ -134,6 +273,8 @@ class TLB:
             self._space_gen[space] = self._space_gen.get(space, 0) + 1
             self._live -= len(keys)
             self.stats.add("space_flush")
+        if self._runs:
+            self._drop_space_runs(space)
 
     def flush(self) -> None:
         """Drop everything."""
@@ -141,6 +282,9 @@ class TLB:
         self._space_keys.clear()
         self._space_gen.clear()
         self._live = 0
+        self._runs.clear()
+        self._run_fifo.clear()
+        self._run_count = 0
         self.stats.add("full_flush")
 
     @property

@@ -163,6 +163,39 @@ class VirtualClock:
                 listener(start, event, count)
         return cost
 
+    def charge_each(self, event: CostEvent, count: int) -> float:
+        """Charge *count* occurrences of *event* exactly as *count*
+        sequential :meth:`charge` calls would — bit-identical virtual
+        time — while moving the counter once.
+
+        ``charge(event, count)`` advances time by ``price * count`` in
+        one float operation; N sequential unit charges accumulate
+        ``now += price`` N times, which is *not* the same float (IEEE
+        addition is not associative).  Bulk paths that replace a
+        per-page loop use this so the Table 6/7 goldens stay
+        bit-identical.  The per-unit accumulation still runs, but with
+        no dict lookups or listener checks per unit; when the event is
+        unpriced only the counter moves.  With listeners or a capture
+        active it falls back to literal unit charges so observers see
+        the same stream they always did.
+        """
+        if count <= 0:
+            return 0.0
+        if self._capture is not None or self._listeners:
+            total = 0.0
+            for _ in range(count):
+                total += self.charge(event)
+            return total
+        start = self._now_ms
+        self.counter.add(event.value, count)
+        price = self.model.price(event)
+        if price:
+            now = start
+            for _ in range(count):
+                now += price
+            self._now_ms = now
+        return self._now_ms - start
+
     def capture(self) -> "CaptureRegion":
         """Divert charges into a list instead of applying them.
 

@@ -232,8 +232,12 @@ class SegmentManager:
         if cache is None:
             raise CapabilityError("stale local-cache capability")
         if size is None:
-            size = (max(cache.resident_offsets(), default=0)
-                    + self.vm.page_size - offset)
+            # Cover through the last resident byte (one page past the
+            # highest resident offset, as the per-page form computed).
+            extents = cache.resident_extents()
+            covered = extents[-1][0] + extents[-1][1] if extents \
+                else self.vm.page_size
+            size = covered - offset
         if op == "flush":
             cache.flush(offset, size)
         elif op == "sync":

@@ -191,7 +191,9 @@ class VmOpsMixin:
     # -- helpers ---------------------------------------------------------------------
 
     def _source_status(self, source_actor, source_address: int):
-        region = source_actor.context.find_region(source_address)
+        overlapping = source_actor.context.regions_overlapping(
+            source_address, 1)
+        region = overlapping[0] if overlapping else None
         if region is None:
             raise InvalidOperation(
                 f"no region at {source_address:#x} in {source_actor.name}"

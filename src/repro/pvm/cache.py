@@ -193,7 +193,23 @@ class PvmCache(Cache):
         self.stats.resident_pages = len(self.pages)
         return self.stats
 
+    def resident_extents(self) -> List[tuple]:
+        """Resident data as sorted, disjoint ``(offset, length)`` byte
+        runs, straight off the shared residency index's run-length set
+        — O(extents) regardless of how many pages are resident."""
+        return self.pvm.residency.resident_extents(self.cache_id)
+
     def resident_offsets(self) -> Sequence[int]:
+        """Per-page resident offsets, sorted.
+
+        .. deprecated:: PR-6
+           Use :meth:`resident_extents`; the per-page list costs
+           O(pages) however contiguous the residency is.
+        """
+        warnings.warn(
+            "Cache.resident_offsets is deprecated; use "
+            "Cache.resident_extents() (see docs/API.md)",
+            DeprecationWarning, stacklevel=2)
         return sorted(self.pages)
 
     def resident_page(self, offset: int) -> Optional[RealPageDescriptor]:

@@ -184,7 +184,7 @@ class ClusterMixin:
         context = self._space_contexts.get(fault.space)
         if context is None:
             return False
-        region = context.find_region(fault.address)
+        region = context._region_at(fault.address)
         if region is None:
             return False
         cache = region.cache

@@ -1,17 +1,21 @@
 """PVM context descriptors (Figure 2).
 
-A context descriptor refers to the sorted list of regions it contains;
-there is a global list of all context descriptors on the host (held by
-the PVM), indexed by hardware address-space id for fault dispatch.
+A context descriptor refers to the regions it contains, held in an
+interval map keyed by [address, end) (section 4.1.1's sorted region
+list, in extent form): point and range queries are binary searches over
+disjoint extents, and membership never requires scanning the region
+list.  There is a global list of all context descriptors on the host
+(held by the PVM), indexed by hardware address-space id for fault
+dispatch.
 """
 
 from __future__ import annotations
 
-import bisect
 import warnings
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import StaleObject
+from repro.extents import IntervalMap
 from repro.gmi.interface import Context
 from repro.gmi.types import Protection
 
@@ -29,26 +33,38 @@ class PvmContext(Context):
         self.pvm = pvm
         self.space = space
         self.name = name or f"ctx{space}"
-        #: regions sorted by start address (section 4.1.1).
-        self.regions: List["PvmRegion"] = []
+        #: regions as an interval map [address, end) -> PvmRegion
+        #: (section 4.1.1).
+        self._map: IntervalMap = IntervalMap()
         self.destroyed = False
 
     def _check_live(self) -> None:
         if self.destroyed:
             raise StaleObject(f"context {self.name} was destroyed")
 
-    # -- region list maintenance ---------------------------------------------------
+    # -- region map maintenance ---------------------------------------------------
 
-    def _region_index(self, address: int) -> int:
-        starts = [region.address for region in self.regions]
-        return bisect.bisect_right(starts, address) - 1
+    @property
+    def regions(self) -> List["PvmRegion"]:
+        """The context's regions, sorted by start address (a snapshot;
+        the backing store is the interval map)."""
+        return list(self._map.values())
 
     def _insert_region(self, region: "PvmRegion") -> None:
-        starts = [existing.address for existing in self.regions]
-        self.regions.insert(bisect.bisect_right(starts, region.address), region)
+        self._map.add(region.address, region.end, region)
 
     def _remove_region(self, region: "PvmRegion") -> None:
-        self.regions.remove(region)
+        self._map.remove(region.address)
+
+    def _resize_region(self, region: "PvmRegion") -> None:
+        """Re-key a region whose ``size`` changed (region_split shrinks
+        the lower half in place)."""
+        self._map.set_end(region.address, region.end)
+
+    def _region_at(self, address: int) -> Optional["PvmRegion"]:
+        """Region containing *address*, or None (internal point query
+        — no staleness check, no deprecation)."""
+        return self._map.get(address)
 
     # -- Table 2 -----------------------------------------------------------------------
 
@@ -83,15 +99,29 @@ class PvmContext(Context):
 
     def get_region_list(self) -> List["PvmRegion"]:
         self._check_live()
-        return list(self.regions)
+        return list(self._map.values())
+
+    def regions_overlapping(self, address: int,
+                            size: int) -> List["PvmRegion"]:
+        """Regions overlapping [address, address+size), sorted by start
+        address — the canonical range query (docs/API.md)."""
+        self._check_live()
+        return [region for _, _, region
+                in self._map.overlapping(address, address + size)]
 
     def find_region(self, address: int) -> Optional["PvmRegion"]:
-        """Region containing *address* (binary search), or None."""
+        """Region containing *address*, or None.
+
+        .. deprecated:: PR-6
+           Use :meth:`regions_overlapping`\\ ``(address, 1)`` (or the
+           region list) instead; see docs/API.md.
+        """
+        warnings.warn(
+            "Context.find_region is deprecated; use "
+            "Context.regions_overlapping(address, 1) (see docs/API.md)",
+            DeprecationWarning, stacklevel=2)
         self._check_live()
-        index = self._region_index(address)
-        if index >= 0 and self.regions[index].contains(address):
-            return self.regions[index]
-        return None
+        return self._region_at(address)
 
     def allocate_address(self, size: int, start_hint: int = 0) -> int:
         """First page-aligned gap of *size* bytes at or after *start_hint*.
@@ -103,11 +133,11 @@ class PvmContext(Context):
         page = self.pvm.page_size
         candidate = max(start_hint, page)        # keep page 0 unmapped
         candidate = (candidate + page - 1) & ~(page - 1)
-        for region in self.regions:
-            if candidate + size <= region.address:
+        for start, end, _ in self._map.items():
+            if candidate + size <= start:
                 break
-            if region.end > candidate:
-                candidate = (region.end + page - 1) & ~(page - 1)
+            if end > candidate:
+                candidate = (end + page - 1) & ~(page - 1)
         return candidate
 
     def switch(self) -> None:
@@ -119,4 +149,4 @@ class PvmContext(Context):
         self.pvm.context_destroy(self)
 
     def __repr__(self) -> str:
-        return f"PvmContext({self.name}, {len(self.regions)} regions)"
+        return f"PvmContext({self.name}, {len(self._map)} regions)"

@@ -123,7 +123,7 @@ class FaultMixin:
         context = self._space_contexts.get(task.space)
         if context is None:
             raise SegmentationFault(task.address, space=task.space)
-        region = context.find_region(task.address)
+        region = context._region_at(task.address)
         if region is None:
             raise SegmentationFault(task.address, context.name,
                                     space=task.space)

@@ -251,11 +251,12 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             if cache.destroyed:
                 raise StaleObject("cannot map a destroyed cache")
             end = address + size
-            for existing in context.regions:
-                if address < existing.end and existing.address < end:
-                    raise InvalidOperation(
-                        f"region [{address:#x}, {end:#x}) overlaps {existing!r}"
-                    )
+            overlapping = context.regions_overlapping(address, size)
+            if overlapping:
+                raise InvalidOperation(
+                    f"region [{address:#x}, {end:#x}) overlaps "
+                    f"{overlapping[0]!r}"
+                )
             self.clock.charge(CostEvent.REGION_CREATE)
             region = PvmRegion(context, address, size, protection, cache,
                                offset)
@@ -296,6 +297,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             upper.locked = region.locked
             upper.advice = region.advice
             region.size = offset
+            region.context._resize_region(region)
             region.context._insert_region(upper)
             return upper
 
@@ -305,10 +307,13 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         with self.lock:
             region.protection = protection
             space = region.context.space
-            for vaddr in region.page_addresses():
+            # Only resident translations need fixing: the per-space
+            # index hands them over in ascending order, so the charge
+            # stream matches the old whole-range walk while the cost is
+            # O(resident), not O(region pages).
+            for vaddr in self.hw.resident_addresses(space, region.address,
+                                                    region.size):
                 page = self.hw.mapping_of(space, vaddr)
-                if page is None:
-                    continue
                 offset = region.segment_offset(vaddr)
                 prot = protection.to_hardware()
                 prot &= self._prot_cap_at(region.cache, offset).to_hardware()

@@ -88,10 +88,10 @@ class PvmRegion(Region):
     def status(self) -> RegionStatus:
         """Table 2 status(): address/size/protection/cache/offset/residency."""
         self._check_live()
-        resident = sum(
-            1 for vaddr in self.page_addresses()
-            if self.context.pvm.mmu.lookup(self.context.space, vaddr) is not None
-        )
+        # O(resident): one range query on the per-space index instead
+        # of probing the MMU once per page of the region.
+        resident = self.context.pvm.hw.resident_count(
+            self.context.space, self.address, self.size)
         return RegionStatus(
             address=self.address,
             size=self.size,

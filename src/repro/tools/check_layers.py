@@ -7,7 +7,7 @@ The reproduction's layering (docs/ARCHITECTURE.md) is::
     repro.pvm.hw_interface       machine-dependent layer
     repro.hardware               MMU ports, TLB, bus, physical memory
 
-Four rules keep the stack honest — the same discipline the paper's
+Five rules keep the stack honest — the same discipline the paper's
 "hardware-independent interface" (section 4) imposes on the real PVM:
 
 1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
@@ -28,6 +28,11 @@ Four rules keep the stack honest — the same discipline the paper's
    the only ``repro.*`` packages they may import are ``repro.cache``,
    ``repro.segments`` itself, ``repro.errors``, ``repro.units`` and
    ``repro.kernel`` (cost accounting).
+5. **Extent primitives are a leaf.**  ``repro.extents`` (run-length
+   sets, interval maps, translation runs) is shared by layers that may
+   not import each other — contexts, the MMU ports, the residency
+   index — so it must import neither backends nor ``repro.hardware``
+   nor ``repro.cache``.
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -60,6 +65,10 @@ CACHE_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware",)
 #: the only repro.* prefixes mappers (repro.segments) may import.
 SEGMENTS_ALLOWED = ("repro.cache", "repro.segments", "repro.errors",
                     "repro.units", "repro.kernel")
+
+#: prefixes the extent primitives must never import (they are a leaf
+#: shared across otherwise-unrelated layers).
+EXTENTS_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware", "repro.cache")
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -141,6 +150,15 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                         module, imported,
                         "repro.cache must not import backends or "
                         "hardware",
+                    ))
+        if _under(module, "repro.extents"):
+            for imported in imports:
+                if any(_under(imported, banned)
+                       for banned in EXTENTS_FORBIDDEN):
+                    violations.append((
+                        module, imported,
+                        "repro.extents is a leaf: it must not import "
+                        "backends, hardware or the cache subsystem",
                     ))
         if _under(module, "repro.segments"):
             for imported in imports:

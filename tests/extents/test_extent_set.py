@@ -1,0 +1,142 @@
+"""ExtentSet: run-length set semantics and O(runs) storage."""
+
+import pytest
+
+from repro.extents import ExtentSet
+
+
+class TestBasics:
+    def test_empty(self):
+        extents = ExtentSet()
+        assert len(extents) == 0
+        assert not extents
+        assert extents.run_count == 0
+        assert 5 not in extents
+        assert extents.runs() == []
+
+    def test_single_range(self):
+        extents = ExtentSet()
+        extents.add_range(10, 14)
+        assert len(extents) == 4
+        assert extents.runs() == [(10, 4)]
+        assert 10 in extents and 13 in extents
+        assert 9 not in extents and 14 not in extents
+
+    def test_constructor_runs(self):
+        extents = ExtentSet([(0, 2), (10, 3)])
+        assert extents.runs() == [(0, 2), (10, 3)]
+        assert len(extents) == 5
+
+    def test_empty_range_is_noop(self):
+        extents = ExtentSet()
+        extents.add_range(5, 5)
+        extents.add_range(7, 3)
+        assert len(extents) == 0
+
+
+class TestCoalescing:
+    def test_adjacent_runs_merge(self):
+        extents = ExtentSet()
+        extents.add_range(0, 4)
+        extents.add_range(4, 8)
+        assert extents.runs() == [(0, 8)]
+        assert extents.run_count == 1
+
+    def test_overlapping_runs_merge(self):
+        extents = ExtentSet()
+        extents.add_range(0, 5)
+        extents.add_range(3, 9)
+        assert extents.runs() == [(0, 9)]
+        assert len(extents) == 9
+
+    def test_bridge_merges_three(self):
+        extents = ExtentSet()
+        extents.add_range(0, 2)
+        extents.add_range(6, 8)
+        extents.add_range(2, 6)
+        assert extents.runs() == [(0, 8)]
+
+    def test_disjoint_runs_stay_apart(self):
+        extents = ExtentSet()
+        extents.add(0)
+        extents.add(2)
+        extents.add(4)
+        assert extents.run_count == 3
+        assert len(extents) == 3
+
+    def test_idempotent_adds(self):
+        extents = ExtentSet()
+        extents.add_range(0, 8)
+        extents.add_range(2, 5)
+        assert extents.runs() == [(0, 8)]
+        assert len(extents) == 8
+
+    def test_million_element_run_is_one_entry(self):
+        extents = ExtentSet()
+        extents.add_range(0, 1_000_000)
+        assert len(extents) == 1_000_000
+        assert extents.run_count == 1
+
+
+class TestDiscard:
+    def test_discard_absent(self):
+        extents = ExtentSet([(0, 4)])
+        assert extents.discard(10) == 0
+        assert extents.discard_range(100, 200) == 0
+        assert len(extents) == 4
+
+    def test_discard_splits_run(self):
+        extents = ExtentSet([(0, 10)])
+        assert extents.discard_range(3, 6) == 3
+        assert extents.runs() == [(0, 3), (6, 4)]
+        assert len(extents) == 7
+
+    def test_discard_trims_edges(self):
+        extents = ExtentSet([(0, 10)])
+        assert extents.discard_range(0, 2) == 2
+        assert extents.discard_range(8, 12) == 2
+        assert extents.runs() == [(2, 6)]
+
+    def test_discard_spanning_many_runs(self):
+        extents = ExtentSet([(0, 2), (4, 2), (8, 2), (12, 2)])
+        assert extents.discard_range(1, 13) == 6
+        assert extents.runs() == [(0, 1), (13, 1)]
+
+    def test_clear(self):
+        extents = ExtentSet([(0, 4), (8, 4)])
+        extents.clear()
+        assert len(extents) == 0
+        assert extents.run_count == 0
+
+
+class TestQueries:
+    def test_runs_in_clips(self):
+        extents = ExtentSet([(0, 4), (8, 4), (16, 4)])
+        assert extents.runs_in(2, 18) == [(2, 2), (8, 4), (16, 2)]
+        assert extents.runs_in(4, 8) == []
+        assert extents.count_in(2, 18) == 8
+
+    def test_iteration_and_equality(self):
+        extents = ExtentSet([(0, 2), (5, 2)])
+        assert list(extents) == [0, 1, 5, 6]
+        assert extents == ExtentSet([(0, 2), (5, 2)])
+        assert extents != ExtentSet([(0, 2)])
+
+
+@pytest.mark.parametrize("operations", [
+    [("add", 0, 10), ("del", 5, 6), ("add", 5, 6)],
+    [("add", 0, 3), ("add", 10, 13), ("add", 3, 10)],
+    [("add", 0, 100), ("del", 0, 100)],
+])
+def test_matches_set_model(operations):
+    extents = ExtentSet()
+    model = set()
+    for op, start, end in operations:
+        if op == "add":
+            extents.add_range(start, end)
+            model.update(range(start, end))
+        else:
+            extents.discard_range(start, end)
+            model.difference_update(range(start, end))
+        assert set(extents) == model
+        assert len(extents) == len(model)

@@ -1,0 +1,97 @@
+"""IntervalMap: disjoint interval bookkeeping for region maps."""
+
+import pytest
+
+from repro.extents import IntervalMap
+
+
+@pytest.fixture
+def imap():
+    mapping = IntervalMap()
+    mapping.add(100, 200, "a")
+    mapping.add(300, 400, "b")
+    return mapping
+
+
+class TestAdd:
+    def test_ordering(self, imap):
+        imap.add(250, 280, "c")
+        assert [value for _, _, value in imap.items()] == ["a", "c", "b"]
+        assert len(imap) == 3
+
+    def test_empty_interval_rejected(self, imap):
+        with pytest.raises(ValueError):
+            imap.add(50, 50, "x")
+        with pytest.raises(ValueError):
+            imap.add(60, 50, "x")
+
+    @pytest.mark.parametrize("start,end", [
+        (150, 250),    # overlaps tail of a
+        (50, 150),     # overlaps head of a
+        (120, 180),    # inside a
+        (50, 500),     # spans everything
+        (100, 200),    # exact duplicate
+        (399, 401),    # overlaps tail of b
+    ])
+    def test_overlap_rejected(self, imap, start, end):
+        with pytest.raises(ValueError):
+            imap.add(start, end, "x")
+        assert len(imap) == 2
+
+    def test_adjacent_allowed(self, imap):
+        imap.add(200, 300, "mid")
+        assert len(imap) == 3
+
+
+class TestLookup:
+    def test_get(self, imap):
+        assert imap.get(100) == "a"
+        assert imap.get(199) == "a"
+        assert imap.get(200) is None
+        assert imap.get(99, default="missing") == "missing"
+        assert imap.get(350) == "b"
+
+    def test_interval_at(self, imap):
+        assert imap.interval_at(150) == (100, 200, "a")
+        assert imap.interval_at(250) is None
+
+    def test_overlapping(self, imap):
+        assert imap.overlapping(150, 350) == \
+            [(100, 200, "a"), (300, 400, "b")]
+        assert imap.overlapping(200, 300) == []
+        assert imap.overlapping(199, 200) == [(100, 200, "a")]
+        assert imap.overlapping(150, 150) == []
+
+    def test_values(self, imap):
+        assert imap.values() == ["a", "b"]
+
+
+class TestRemoveResize:
+    def test_remove(self, imap):
+        assert imap.remove(100) == "a"
+        assert imap.get(150) is None
+        assert len(imap) == 1
+
+    def test_remove_requires_exact_start(self, imap):
+        with pytest.raises(KeyError):
+            imap.remove(150)
+
+    def test_set_end_shrinks(self, imap):
+        imap.set_end(100, 150)
+        assert imap.get(149) == "a"
+        assert imap.get(150) is None
+
+    def test_set_end_grow_into_neighbour_rejected(self, imap):
+        with pytest.raises(ValueError):
+            imap.set_end(100, 301)
+        imap.set_end(100, 300)      # adjacent is fine
+        assert imap.get(299) == "a"
+
+    def test_set_end_empty_rejected(self, imap):
+        with pytest.raises(ValueError):
+            imap.set_end(100, 100)
+
+    def test_clear(self, imap):
+        imap.clear()
+        assert len(imap) == 0
+        assert not imap

@@ -1,0 +1,103 @@
+"""Extent-granular TLB behaviour (PR 6).
+
+``invalidate_range`` must drop exactly the live entries the per-page
+batch would (same shootdown counts) while costing O(min(count, live));
+opt-in run entries (``run_entries > 0``) translate whole contiguous
+runs, are conservatively dropped on any overlapping invalidation, and
+never change page-granular behaviour when disabled.
+"""
+
+from repro.hardware.mmu import Mapping, Prot
+from repro.hardware.tlb import TLB
+
+
+def _fill(tlb, space, vpns, base_frame=100):
+    for vpn in vpns:
+        tlb.fill(space, vpn, Mapping(base_frame + vpn, Prot.RW))
+
+
+class TestInvalidateRange:
+    def test_drops_only_entries_in_range(self):
+        tlb = TLB(16)
+        _fill(tlb, 1, [0, 3, 5, 9])
+        dropped = tlb.invalidate_range(1, 2, 5)     # vpns [2, 7)
+        assert dropped == 2
+        assert tlb.probe(1, 3) is None
+        assert tlb.probe(1, 5) is None
+        assert tlb.probe(1, 0) is not None
+        assert tlb.probe(1, 9) is not None
+
+    def test_counts_match_per_page_batch(self):
+        ranged, per_page = TLB(16), TLB(16)
+        for tlb in (ranged, per_page):
+            _fill(tlb, 1, [0, 3, 5, 9])
+            _fill(tlb, 2, [4])
+        ranged.invalidate_range(1, 0, 10)
+        per_page.invalidate_batch(1, range(10))
+        assert ranged.stats.get("shootdown") == \
+            per_page.stats.get("shootdown") == 4
+        assert ranged.occupancy == per_page.occupancy == 1
+
+    def test_million_page_range_touches_only_live_entries(self):
+        tlb = TLB(16)
+        _fill(tlb, 1, [10, 500, 999_000])
+        dropped = tlb.invalidate_range(1, 0, 1_000_000)
+        assert dropped == 3
+        assert tlb.occupancy == 0
+
+    def test_other_spaces_untouched(self):
+        tlb = TLB(16)
+        _fill(tlb, 1, [4])
+        _fill(tlb, 2, [4])
+        tlb.invalidate_range(1, 0, 10)
+        assert tlb.probe(2, 4) is not None
+
+    def test_stale_entries_do_not_count(self):
+        tlb = TLB(16)
+        _fill(tlb, 1, [2, 3])
+        tlb.flush_space(1)               # entries become stale, lazily
+        assert tlb.invalidate_range(1, 0, 10) == 0
+
+
+class TestRunEntries:
+    def test_run_probe_translates_whole_extent(self):
+        tlb = TLB(4, run_entries=4)
+        tlb.fill_run(1, 100, 50, 7, Prot.RW)
+        hit = tlb.probe(1, 120)
+        assert hit is not None and hit.frame == 7 + 20
+        assert tlb.stats.get("run_hit") == 1
+        assert tlb.probe(1, 150) is None           # one past the run
+
+    def test_overlapping_invalidation_drops_whole_run(self):
+        tlb = TLB(4, run_entries=4)
+        tlb.fill_run(1, 0, 10, 0, Prot.RW)
+        tlb.invalidate(1, 5)                       # conservative drop
+        assert tlb.probe(1, 2) is None
+        assert tlb.run_occupancy == 0
+
+    def test_fifo_eviction_counts(self):
+        tlb = TLB(4, run_entries=2)
+        tlb.fill_run(1, 0, 4, 0, Prot.RW)
+        tlb.fill_run(1, 10, 4, 10, Prot.RW)
+        tlb.fill_run(1, 20, 4, 20, Prot.RW)        # evicts the first
+        assert tlb.run_occupancy == 2
+        assert tlb.stats.get("run_evict") == 1
+        assert tlb.probe(1, 1) is None
+        assert tlb.probe(1, 21) is not None
+
+    def test_disabled_by_default(self):
+        tlb = TLB(4)
+        tlb.fill_run(1, 0, 4, 0, Prot.RW)          # no-op
+        assert tlb.run_occupancy == 0
+        assert tlb.probe(1, 1) is None
+        assert tlb.stats.get("run_hit") == 0
+
+    def test_flush_space_and_flush_drop_runs(self):
+        tlb = TLB(4, run_entries=4)
+        tlb.fill_run(1, 0, 4, 0, Prot.RW)
+        tlb.fill_run(2, 0, 4, 9, Prot.RW)
+        tlb.flush_space(1)
+        assert tlb.probe(1, 1) is None
+        assert tlb.probe(2, 1) is not None
+        tlb.flush()
+        assert tlb.run_occupancy == 0

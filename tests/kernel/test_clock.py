@@ -73,3 +73,57 @@ class TestVirtualClock:
         with ClockRegion(clock) as region:
             clock.charge(CostEvent.BCOPY_PAGE, 2)
         assert region.elapsed == pytest.approx(2.8)
+
+
+class TestChargeEach:
+    """charge_each must be bit-identical to N sequential unit charges
+    (float addition is not associative, so price*N is NOT the same)."""
+
+    PRICE = 0.087            # deliberately not exactly representable
+
+    def test_bit_identical_to_unit_charges(self):
+        model = CostModel({CostEvent.REGION_INVALIDATE_PAGE: self.PRICE})
+        bulk, loop = VirtualClock(model), VirtualClock(model)
+        bulk.charge_each(CostEvent.REGION_INVALIDATE_PAGE, 1000)
+        for _ in range(1000):
+            loop.charge(CostEvent.REGION_INVALIDATE_PAGE)
+        assert bulk.now() == loop.now()          # exact, not approx
+        assert bulk.count(CostEvent.REGION_INVALIDATE_PAGE) == 1000
+
+    def test_differs_from_grouped_charge(self):
+        # Sanity: the whole reason charge_each exists.
+        model = CostModel({CostEvent.REGION_INVALIDATE_PAGE: self.PRICE})
+        grouped, each = VirtualClock(model), VirtualClock(model)
+        grouped.charge(CostEvent.REGION_INVALIDATE_PAGE, 1000)
+        each.charge_each(CostEvent.REGION_INVALIDATE_PAGE, 1000)
+        assert grouped.now() != each.now()
+
+    def test_unpriced_event_moves_only_the_counter(self):
+        clock = VirtualClock()
+        assert clock.charge_each(CostEvent.PAGE_UNMAP, 5) == 0.0
+        assert clock.now() == 0.0
+        assert clock.count(CostEvent.PAGE_UNMAP) == 5
+
+    def test_nonpositive_count_is_a_noop(self):
+        clock = VirtualClock(CostModel({CostEvent.PAGE_MAP: 1.0}))
+        assert clock.charge_each(CostEvent.PAGE_MAP, 0) == 0.0
+        assert clock.charge_each(CostEvent.PAGE_MAP, -3) == 0.0
+        assert clock.now() == 0.0
+
+    def test_listeners_see_unit_charges(self):
+        model = CostModel({CostEvent.PAGE_MAP: 1.0})
+        clock = VirtualClock(model)
+        seen = []
+        clock.add_listener(lambda t, e, c: seen.append((t, e, c)))
+        clock.charge_each(CostEvent.PAGE_MAP, 3)
+        assert seen == [(0.0, CostEvent.PAGE_MAP, 1),
+                        (1.0, CostEvent.PAGE_MAP, 1),
+                        (2.0, CostEvent.PAGE_MAP, 1)]
+
+    def test_capture_records_unit_charges(self):
+        clock = VirtualClock(CostModel({CostEvent.PAGE_MAP: 1.0}))
+        with clock.capture() as region:
+            clock.charge_each(CostEvent.PAGE_MAP, 2)
+        assert region.charges == [(CostEvent.PAGE_MAP, 1),
+                                  (CostEvent.PAGE_MAP, 1)]
+        assert clock.now() == 0.0

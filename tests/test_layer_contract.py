@@ -6,7 +6,10 @@ imports neither hardware nor any backend, and repro.obs (metrics,
 spans, trace export) imports neither either — instrumentation is
 called into, never calls down.  The cache subsystem (repro.cache)
 must stay backend-agnostic, and mappers (repro.segments) may depend
-only on the cache-subsystem interfaces.  The checker must both pass
+only on the cache-subsystem interfaces.  The extent primitives
+(repro.extents) are a leaf shared by layers that may not import each
+other, so they import neither backends nor hardware nor the cache
+subsystem.  The checker must both pass
 on the real tree and demonstrably fail on a deliberately-introduced
 violation — a green light from a checker that can't turn red proves
 nothing.
@@ -131,6 +134,36 @@ class TestDetectsViolations:
                 "from repro.cache.mapper import BaseMapper\n"
                 "from repro.errors import CapabilityError\n"
                 "from repro.kernel.clock import VirtualClock\n"
+            ),
+        })
+        assert check_layers(tmp_path) == []
+
+    def test_extents_importing_hardware_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "extents/cheat.py": "from repro.hardware.mmu import Mapping\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.extents.cheat"
+        assert "leaf" in violations[0][2]
+
+    def test_extents_importing_cache_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "extents/cheat.py":
+                "from repro.cache.residency import ResidencyIndex\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_extents_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "extents/cheat.py": "import repro.pvm.context\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_extents_may_import_stdlib_and_errors(self, tmp_path):
+        _make_tree(tmp_path, {
+            "extents/fine.py": (
+                "import bisect\n"
+                "from repro.errors import InvalidOperation\n"
             ),
         })
         assert check_layers(tmp_path) == []
