@@ -11,7 +11,7 @@ from repro.bench import costmodel
 from repro.bench.tables import format_series
 from repro.gmi.upcalls import ZeroFillProvider
 from repro.kernel.clock import ClockRegion, CostEvent
-from repro.pvm.writeback import WritebackDaemon
+from repro.cache.writeback import WritebackDaemon
 from repro.units import KB
 
 PAGE = 8 * KB

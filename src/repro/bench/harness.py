@@ -60,13 +60,16 @@ SRC_BASE = 0x0200_0000
 BENCH_TLB_ENTRIES = 64
 
 
-def build_nucleus(backend: str, cluster=None):
+def build_nucleus(backend: str, cluster=None, io_threads: int = 0):
     """A fresh Nucleus on SUN-3/60-calibrated hardware for *backend*
     (``pvm``, ``mach`` or ``minimal``).
 
     *cluster* is a fault-clustering policy spec (``off`` / ``fixed`` /
     ``adaptive`` / None); read-ahead is charge-replayed, so it changes
-    wall time and upcall counts but never virtual time.
+    wall time and upcall counts but never virtual time.  *io_threads*
+    sizes the manager's I/O scheduler pool (0 = the synchronous
+    pass-through); charges land at submit time, so this knob too moves
+    wall time and queue counters but never virtual time.
     """
     from repro.mach.mach_vm import MachVirtualMemory
     from repro.minimal.minimal_vm import RealTimeVirtualMemory
@@ -80,17 +83,18 @@ def build_nucleus(backend: str, cluster=None):
     }[backend]
     return Nucleus(vm_class=vm_class, cost_model=cost_model,
                    memory_size=SUN360_MEMORY, page_size=SUN360_PAGE,
-                   tlb_entries=BENCH_TLB_ENTRIES, cluster_policy=cluster)
+                   tlb_entries=BENCH_TLB_ENTRIES, cluster_policy=cluster,
+                   io_threads=io_threads)
 
 
 @dataclass(frozen=True)
 class Workload:
     """One named benchmark: untimed *setup*, measured *body*.
 
-    ``setup(backend)`` returns a state dict that must carry ``clock``
-    (the virtual clock the body charges) and ``vm`` (the manager whose
-    metrics are snapshotted); ``body(state)`` runs the measured
-    mechanism.
+    ``setup(backend, cluster, io_threads)`` returns a state dict that
+    must carry ``clock`` (the virtual clock the body charges) and
+    ``vm`` (the manager whose metrics are snapshotted); ``body(state)``
+    runs the measured mechanism.
     """
 
     name: str
@@ -102,15 +106,17 @@ class Workload:
 
 # -- workload definitions -------------------------------------------------------
 
-def _nucleus_state(backend: str, cluster=None, **extra) -> dict:
-    nucleus = build_nucleus(backend, cluster=cluster)
+def _nucleus_state(backend: str, cluster=None, io_threads: int = 0,
+                   **extra) -> dict:
+    nucleus = build_nucleus(backend, cluster=cluster, io_threads=io_threads)
     state = {"nucleus": nucleus, "vm": nucleus.vm, "clock": nucleus.clock}
     state.update(extra)
     return state
 
 
-def _zero_fill_setup(backend: str, cluster=None) -> dict:
-    state = _nucleus_state(backend, cluster)
+def _zero_fill_setup(backend: str, cluster=None,
+                     io_threads: int = 0) -> dict:
+    state = _nucleus_state(backend, cluster, io_threads)
     state["actor"] = state["nucleus"].create_actor("bench")
     return state
 
@@ -125,8 +131,9 @@ def _zero_fill_body(state: dict) -> None:
     nucleus.rgn_free(actor, region)
 
 
-def _seq_stream_setup(backend: str, cluster=None) -> dict:
-    state = _nucleus_state(backend, cluster)
+def _seq_stream_setup(backend: str, cluster=None,
+                      io_threads: int = 0) -> dict:
+    state = _nucleus_state(backend, cluster, io_threads)
     nucleus = state["nucleus"]
     state["actor"] = nucleus.create_actor("bench")
     state["region"] = nucleus.rgn_allocate(state["actor"], 512 * KB,
@@ -147,8 +154,9 @@ def _seq_stream_body(state: dict) -> None:
             actor.read(REGION_BASE + position, span)
 
 
-def _random_touch_setup(backend: str, cluster=None) -> dict:
-    state = _seq_stream_setup(backend, cluster)
+def _random_touch_setup(backend: str, cluster=None,
+                        io_threads: int = 0) -> dict:
+    state = _seq_stream_setup(backend, cluster, io_threads)
     state["region"].advice = "random"
     return state
 
@@ -167,10 +175,10 @@ def _random_touch_body(state: dict) -> None:
                         b"\x01")
 
 
-def _cow_setup(backend: str, cluster=None) -> dict:
+def _cow_setup(backend: str, cluster=None, io_threads: int = 0) -> dict:
     # "The source region is created and allocated before starting the
     # measurement" — a 256 KB source, fully written.
-    state = _nucleus_state(backend, cluster)
+    state = _nucleus_state(backend, cluster, io_threads)
     nucleus = state["nucleus"]
     actor = nucleus.create_actor("bench")
     page_size = nucleus.vm.page_size
@@ -207,8 +215,9 @@ def _cow_chain_body(state: dict) -> None:
     fork_exit_chain(state["nucleus"], generations=6, collapse=True)
 
 
-def _pageout_setup(backend: str, cluster=None) -> dict:
-    state = _nucleus_state(backend, cluster)
+def _pageout_setup(backend: str, cluster=None,
+                   io_threads: int = 0) -> dict:
+    state = _nucleus_state(backend, cluster, io_threads)
     nucleus = state["nucleus"]
     vm = nucleus.vm
     cache = nucleus.segment_manager.create_temporary("pageout-data")
@@ -224,9 +233,10 @@ def _pageout_body(state: dict) -> None:
     state["vm"].reclaim_frames(32)
 
 
-def _dsm_setup(backend: str, cluster=None) -> dict:
+def _dsm_setup(backend: str, cluster=None, io_threads: int = 0) -> dict:
     # DSM sites build their own nuclei; coherence traffic is strictly
-    # page-at-a-time, so the clustering knob does not apply here.
+    # page-at-a-time and in-process (no mapper I/O), so neither the
+    # clustering nor the io_threads knob applies here.
     from repro.dsm.site import make_dsm_cluster
 
     manager, sites = make_dsm_cluster(["a", "b"], segment_pages=4,
@@ -246,10 +256,11 @@ def _dsm_body(state: dict) -> None:
         site_a.read(0, 1)
 
 
-def _segment_scan_setup(backend: str, cluster=None) -> dict:
+def _segment_scan_setup(backend: str, cluster=None,
+                        io_threads: int = 0) -> dict:
     from repro.segments.mem_mapper import MemoryMapper
 
-    state = _nucleus_state(backend, cluster)
+    state = _nucleus_state(backend, cluster, io_threads)
     nucleus = state["nucleus"]
     page_size = nucleus.vm.page_size
     mapper = MemoryMapper()
@@ -271,10 +282,11 @@ def _segment_scan_body(state: dict) -> None:
         cache.read(index * page_size, 8 * page_size)
 
 
-def _writeback_storm_setup(backend: str, cluster=None) -> dict:
+def _writeback_storm_setup(backend: str, cluster=None,
+                           io_threads: int = 0) -> dict:
     from repro.cache.writeback import WritebackDaemon
 
-    state = _nucleus_state(backend, cluster)
+    state = _nucleus_state(backend, cluster, io_threads)
     nucleus = state["nucleus"]
     vm = nucleus.vm
     cache = nucleus.segment_manager.create_temporary("storm-data")
@@ -309,8 +321,9 @@ HUGE_MAP_PAGES = 1_000_000
 HUGE_MAP_TOUCHES = 64
 
 
-def _huge_map_setup(backend: str, cluster=None) -> dict:
-    state = _nucleus_state(backend, cluster)
+def _huge_map_setup(backend: str, cluster=None,
+                    io_threads: int = 0) -> dict:
+    state = _nucleus_state(backend, cluster, io_threads)
     state["actor"] = state["nucleus"].create_actor("bench")
     return state
 
@@ -382,8 +395,23 @@ WORKLOADS: Dict[str, Workload] = {
 
 # -- recording -----------------------------------------------------------------
 
+def _retire_io(state: dict) -> None:
+    """Drain and stop the state's I/O scheduler, if it has one.
+
+    Called *outside* the timed window: the wall number measures how
+    long the workload body itself ran — deferred write-behind bytes
+    draining afterwards is exactly the latency the scheduler moved off
+    the critical path.  Closing between repeats keeps pool threads
+    from piling up across the suite.
+    """
+    io = getattr(state["vm"], "io", None)
+    if io is not None:
+        io.flush()
+        io.close()
+
+
 def run_workload(workload: Workload, backend: str, repeats: int = 3,
-                 cluster=None) -> dict:
+                 cluster=None, io_threads: int = 0) -> dict:
     """One (workload, backend) cell: best-of-*repeats* wall time, the
     deterministic virtual time, and a full metrics snapshot."""
     if backend not in workload.backends:
@@ -394,7 +422,7 @@ def run_workload(workload: Workload, backend: str, repeats: int = 3,
     # idle fast path — so wall time measures the mechanisms, not the
     # bookkeeping.  Virtual time is deterministic either way.
     for _ in range(repeats):
-        state = workload.setup(backend, cluster)
+        state = workload.setup(backend, cluster, io_threads)
         registry = state["vm"].probe.registry
         registry.enabled = False
         # Sweep the previous repeat's garbage before the timer starts
@@ -412,13 +440,21 @@ def run_workload(workload: Workload, backend: str, repeats: int = 3,
             if gc_was_enabled:
                 gc.enable()
             registry.enabled = True
+            _retire_io(state)
     # One untimed instrumented pass supplies the golden virtual time
     # and the full metrics snapshot.
-    state = workload.setup(backend, cluster)
+    state = workload.setup(backend, cluster, io_threads)
     with ClockRegion(state["clock"]) as timer:
         workload.body(state)
     virtual_ms = timer.elapsed
+    io = getattr(state["vm"], "io", None)
+    if io is not None:
+        # Snapshot a drained queue (depth gauge 0; the peak and the
+        # coalesce rate survive), then stop the pool.
+        io.flush()
     metrics = state["vm"].metrics_snapshot()
+    if io is not None:
+        io.close()
     return {
         "workload": workload.name,
         "backend": backend,
@@ -434,14 +470,17 @@ def run_suite(workloads: Optional[Sequence[str]] = None,
               backends: Optional[Sequence[str]] = None,
               repeats: int = 3,
               label: Optional[str] = None,
-              cluster: Optional[str] = "adaptive") -> dict:
+              cluster: Optional[str] = "adaptive",
+              io_threads: int = 2) -> dict:
     """Run the named suite; returns the recordable result document.
 
     *cluster* selects the fault-clustering policy the managers run
     with (``"adaptive"`` by default — the shipping configuration;
     pass ``"off"``/None for the one-page-per-fault baseline).
-    Virtual times are identical either way; wall time and upcall
-    counts are what the knob moves.
+    *io_threads* sizes the I/O scheduler pool (default 2 — the
+    shipping configuration; 0 is the synchronous pass-through).
+    Virtual times are identical either way; wall time, upcall counts
+    and queue counters are what the knobs move.
     """
     names = list(workloads) if workloads else list(WORKLOADS)
     unknown = [name for name in names if name not in WORKLOADS]
@@ -461,10 +500,11 @@ def run_suite(workloads: Optional[Sequence[str]] = None,
             if backend not in workload.backends:
                 continue
             results.append(run_workload(workload, backend, repeats=repeats,
-                                        cluster=cluster))
+                                        cluster=cluster,
+                                        io_threads=io_threads))
     document = {
         "meta": {"version": RESULT_VERSION, "repeats": repeats,
-                 "cluster": cluster or "off"},
+                 "cluster": cluster or "off", "io_threads": io_threads},
         "results": results,
     }
     if label:
@@ -475,10 +515,12 @@ def run_suite(workloads: Optional[Sequence[str]] = None,
 def record(path, workloads: Optional[Sequence[str]] = None,
            backends: Optional[Sequence[str]] = None,
            repeats: int = 3, label: Optional[str] = None,
-           cluster: Optional[str] = "adaptive") -> dict:
+           cluster: Optional[str] = "adaptive",
+           io_threads: int = 2) -> dict:
     """Run the suite, validate the document, write it to *path*."""
     document = run_suite(workloads=workloads, backends=backends,
-                         repeats=repeats, label=label, cluster=cluster)
+                         repeats=repeats, label=label, cluster=cluster,
+                         io_threads=io_threads)
     errors = validate(document, BENCH_RESULT_SCHEMA)
     if errors:
         raise ValueError("recorded document violates BENCH_RESULT_SCHEMA: "
@@ -505,7 +547,8 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
     too (it should be exactly 0.0 — the virtual clock is
     deterministic — so any drift means the mechanisms changed), but
     only wall time gates.  Each row also carries the cell's TLB hit
-    rate on both sides (None when that recording predates the TLB
+    rate on both sides, and the current cell's I/O-queue depth peak
+    and coalesce rate (None when that recording predates those
     gauges).
     """
     baseline_cells = {(cell["workload"], cell["backend"]): cell
@@ -523,7 +566,11 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "baseline_wall_ms": None, "wall_ratio": None,
                          "virtual_drift_ms": None,
                          "baseline_tlb_hit_rate": None,
-                         "tlb_hit_rate": _tlb_hit_rate(cell)})
+                         "tlb_hit_rate": _tlb_hit_rate(cell),
+                         "io_depth_peak": _gauge(cell,
+                                                 "io.queue.depth_peak"),
+                         "io_coalesce_rate":
+                             _gauge(cell, "io.queue.coalesce_rate")})
             continue
         if base["wall_ms"] > 0:
             ratio = cell["wall_ms"] / base["wall_ms"]
@@ -537,7 +584,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                "wall_ratio": ratio,
                "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"],
                "baseline_tlb_hit_rate": _tlb_hit_rate(base),
-               "tlb_hit_rate": _tlb_hit_rate(cell)}
+               "tlb_hit_rate": _tlb_hit_rate(cell),
+               "io_depth_peak": _gauge(cell, "io.queue.depth_peak"),
+               "io_coalesce_rate": _gauge(cell, "io.queue.coalesce_rate")}
         rows.append(row)
         if regressed:
             regressions.append(row)
@@ -550,7 +599,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "wall_ratio": None, "virtual_drift_ms": None,
                          "baseline_tlb_hit_rate":
                              _tlb_hit_rate(baseline_cells[key]),
-                         "tlb_hit_rate": None})
+                         "tlb_hit_rate": None,
+                         "io_depth_peak": None,
+                         "io_coalesce_rate": None})
     rows.sort(key=lambda row: (row["workload"], row["backend"]))
     return {"threshold": threshold, "rows": rows,
             "regressions": regressions}
@@ -561,6 +612,11 @@ def _tlb_hit_rate(cell: dict) -> Optional[float]:
     return cell.get("metrics", {}).get("gauges", {}).get("tlb.hit_ratio")
 
 
+def _gauge(cell: dict, name: str) -> Optional[float]:
+    """A recorded gauge of *cell*, if that recording carries it."""
+    return cell.get("metrics", {}).get("gauges", {}).get(name)
+
+
 def _format_hit_rate(value: Optional[float]) -> str:
     return "-" if value is None else f"{value * 100:.1f}%"
 
@@ -568,9 +624,12 @@ def _format_hit_rate(value: Optional[float]) -> str:
 def format_compare(report: dict) -> str:
     """Render a compare report as the per-workload delta table."""
     headers = ("workload", "backend", "base ms", "now ms", "ratio",
-               "vdrift ms", "tlb base", "tlb now", "status")
+               "vdrift ms", "tlb base", "tlb now", "ioq peak",
+               "coalesce", "status")
     table = [headers]
     for row in report["rows"]:
+        depth_peak = row.get("io_depth_peak")
+        coalesce = row.get("io_coalesce_rate")
         table.append((
             row["workload"],
             row["backend"],
@@ -583,6 +642,8 @@ def format_compare(report: dict) -> str:
             else f"{row['virtual_drift_ms']:+.3f}",
             _format_hit_rate(row.get("baseline_tlb_hit_rate")),
             _format_hit_rate(row.get("tlb_hit_rate")),
+            "-" if depth_peak is None else f"{depth_peak:.0f}",
+            _format_hit_rate(coalesce),
             row["status"],
         ))
     widths = [max(len(line[col]) for line in table)
@@ -617,6 +678,7 @@ BENCH_RESULT_SCHEMA = {
                 "repeats": {"type": "integer", "minimum": 1},
                 "label": {"type": "string"},
                 "cluster": {"type": "string"},
+                "io_threads": {"type": "integer", "minimum": 0},
             },
         },
         "results": {

@@ -22,7 +22,7 @@ frames, MMUs or providers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cache.descriptor import RealPageDescriptor
 from repro.cache.eviction import EvictionPolicy
@@ -140,13 +140,16 @@ class ResidencyIndex:
 
     # -- queries -----------------------------------------------------------------
 
-    def dirty_pages(self) -> Iterator[RealPageDescriptor]:
+    def dirty_pages(self) -> List[RealPageDescriptor]:
         """All resident dirty pages, in cache-creation then
-        page-insertion order (the write-back daemon's scan order)."""
-        for table in list(self._pages.values()):
-            for page in list(table.values()):
-                if page.dirty:
-                    yield page
+        page-insertion order (the write-back daemon's scan order).
+
+        Returned as a list so callers (the daemon holds the manager
+        lock for its whole tick) may clean pages while walking it."""
+        return [page
+                for table in self._pages.values()
+                for page in table.values()
+                if page.dirty]
 
     def pages_of(self, cache_id: int) -> Dict[int, RealPageDescriptor]:
         """The live page table for *cache_id* (empty dict if unknown)."""

@@ -23,6 +23,10 @@ from repro.engine.cluster import (
     AdaptiveWindow, ClusterIndex, ClusterPolicy, FixedWindow, NoCluster,
     PrefaultEntry, make_policy, split_uniform,
 )
+from repro.engine.inflight import InFlightEntry, InFlightTable
+from repro.engine.io import (
+    DEMAND, READAHEAD, WRITE_BEHIND, IoScheduler, IoScope,
+)
 from repro.engine.pipeline import (
     FAULT_STAGES, RESOLUTION_STAGES, FaultPipeline, VmBackend,
 )
@@ -32,14 +36,21 @@ __all__ = [
     "AdaptiveWindow",
     "ClusterIndex",
     "ClusterPolicy",
+    "DEMAND",
     "FAULT_STAGES",
     "FixedWindow",
+    "InFlightEntry",
+    "InFlightTable",
+    "IoScheduler",
+    "IoScope",
     "NoCluster",
     "PrefaultEntry",
+    "READAHEAD",
     "RESOLUTION_STAGES",
     "FaultPipeline",
     "FaultTask",
     "VmBackend",
+    "WRITE_BEHIND",
     "make_policy",
     "split_uniform",
 ]

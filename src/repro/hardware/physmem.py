@@ -109,6 +109,15 @@ class PhysicalMemory:
         """Contents of an entire frame."""
         return self.read(self.frame_address(frame), self.page_size)
 
+    def frame_view(self, frame: int) -> memoryview:
+        """Zero-copy view of an entire frame.
+
+        The view aliases live RAM — a reallocated frame's bytes can
+        change under it — so callers must materialize (``bytes`` /
+        ``join``) before releasing the manager lock."""
+        base = self.frame_address(frame)
+        return memoryview(self._ram)[base:base + self.page_size]
+
     def write_frame(self, frame: int, data: bytes) -> None:
         """Overwrite an entire frame (``data`` shorter than a page is
         zero-padded, matching partial-page fill semantics)."""

@@ -155,7 +155,12 @@ class VirtualClock:
             self._capture.append((event, count))
             return 0.0
         start = self._now_ms
-        self.counter.add(event.value, count)
+        counter = self.counter
+        if counter.registry.enabled:
+            # A paused registry drops the increment inside inc()
+            # anyway; skipping the whole view hop keeps the idle fast
+            # path to one attribute check per charge.
+            counter.add(event.value, count)
         cost = self.model.price(event) * count
         self._now_ms = start + cost
         if self._listeners:

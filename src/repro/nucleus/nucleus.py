@@ -83,12 +83,25 @@ class Nucleus(VmOpsMixin):
             header = message.header
             op = header["op"]
             key = mapper.check_capability(header["capability"])
+            # Mapper ops ride the manager's I/O scheduler (the IPC
+            # charges already landed at send time, so routing only the
+            # byte movement keeps charge order intact).
+            io = getattr(self.vm, "io", None)
             if op == "read":
-                data = mapper.read_segment(key, header["offset"],
+                if io is not None:
+                    data = io.read_segment(mapper, key, header["offset"],
                                            header["size"])
+                else:
+                    data = mapper.read_segment(key, header["offset"],
+                                               header["size"])
                 return Message(header={"op": "read-reply"}, inline=data)
             if op == "write":
-                mapper.write_segment(key, header["offset"], message.inline)
+                if io is not None:
+                    io.write_segment(mapper, key, header["offset"],
+                                     message.inline)
+                else:
+                    mapper.write_segment(key, header["offset"],
+                                         message.inline)
                 return Message(header={"op": "write-reply"})
             if op == "size":
                 return Message(header={"op": "size-reply",

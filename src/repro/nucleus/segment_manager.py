@@ -92,8 +92,12 @@ class TemporaryProvider(SegmentProvider):
         if swap is None:
             cache.fill_zero(offset, size)
             return
-        data = self.manager.default_mapper.read_segment(swap.key, offset,
-                                                        size)
+        mapper = self.manager.default_mapper
+        io = getattr(self.manager.vm, "io", None)
+        if io is not None:
+            data = io.read_segment(mapper, swap.key, offset, size)
+        else:
+            data = mapper.read_segment(swap.key, offset, size)
         cache.fill_up(offset, data)
 
     def push_out(self, cache, offset: int, size: int) -> None:
@@ -105,7 +109,12 @@ class TemporaryProvider(SegmentProvider):
             swap = self.manager.default_mapper.create_temporary()
             self._swap[id(cache)] = swap
         data = cache.copy_back(offset, size)
-        self.manager.default_mapper.write_segment(swap.key, offset, data)
+        mapper = self.manager.default_mapper
+        io = getattr(self.manager.vm, "io", None)
+        if io is not None:
+            io.write_segment(mapper, swap.key, offset, data)
+        else:
+            mapper.write_segment(swap.key, offset, data)
 
     def segment_create(self, cache) -> object:
         return f"temporary:{id(cache):x}"
@@ -114,7 +123,13 @@ class TemporaryProvider(SegmentProvider):
         """Release a temporary cache's swap segment, if allocated."""
         swap = self._swap.pop(id(cache), None)
         if swap is not None:
-            self.manager.default_mapper.destroy_segment(swap.key)
+            mapper = self.manager.default_mapper
+            io = getattr(self.manager.vm, "io", None)
+            if io is not None:
+                # Deferred writes to a dying segment are wasted bytes;
+                # drop the queued ones, wait out the executing ones.
+                io.discard(mapper, swap.key)
+            mapper.destroy_segment(swap.key)
 
 
 class SegmentManager:

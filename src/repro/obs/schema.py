@@ -47,12 +47,16 @@ SNAPSHOT_SCHEMA = {
             "type": "object",
             # The staged fault engine's per-stage counters (one per
             # executed pipeline stage: locate, authorize, resolve,
-            # materialize, install) and the fault-clustering counters
-            # (faults_saved / window / wasted_prefault, plus their
-            # labeled series).
+            # materialize, install), the fault-clustering counters
+            # (faults_saved / window / wasted_prefault), the in-flight
+            # fault table (begin / coalesced) and the I/O scheduler's
+            # queue counters (read / write per priority, coalesced /
+            # forced / stall) — plus their labeled series.
             "patternProperties": {
                 r"^engine\.stage\.": {"type": "integer", "minimum": 0},
                 r"^engine\.cluster\.": {"type": "integer", "minimum": 0},
+                r"^engine\.inflight\.": {"type": "integer", "minimum": 0},
+                r"^io\.queue\.": {"type": "integer", "minimum": 0},
             },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },

@@ -210,13 +210,17 @@ class CacheOpsMixin:
                 # The cached copy is being given up: parked prefaults
                 # of the range would otherwise outlive the handover.
                 self._cluster_cancel_range(cache, offset, size)
+            # Frame *views*, not copies: freeing a frame only moves it
+            # between allocation sets, so the bytes stay intact until
+            # the single materializing join below — one copy per page
+            # instead of two, all under the manager lock.
             parts = []
             for page_offset in page_range(offset, size, self.page_size):
                 page = cache.pages.get(page_offset)
                 if page is None:
                     parts.append(bytes(self.page_size))
                     continue
-                parts.append(self.memory.read_frame(page.frame))
+                parts.append(self.memory.frame_view(page.frame))
                 self.clock.charge(CostEvent.BCOPY_PAGE)
                 if surrender:
                     page.dirty = False
@@ -342,21 +346,31 @@ class CacheOpsMixin:
         self._pull_span(cache, offset, self.page_size, mode)
 
     def _pull_span(self, cache: PvmCache, offset: int, size: int,
-                   mode: AccessMode) -> None:
+                   mode: AccessMode, readahead: bool = False) -> None:
         """Stub every page of ``[offset, offset+size)`` and drive one
-        (possibly ranged) pullIn through the cache engine."""
+        (possibly ranged) pullIn through the cache engine.
+
+        The whole span registers as **one** in-flight extent: its page
+        stubs share the entry's condition, so any faulter that lands
+        on the range while the pull is outstanding joins the entry's
+        waiter queue (one broadcast wakes everyone) instead of issuing
+        — and paying for — a second pull."""
+        entry = self.inflight.begin(cache, offset, size, mode)
         stubs = []
         for page_offset in page_range(offset, size, self.page_size):
-            condition = self.sync_factory.condition(self.lock)
-            stub = SyncStub(cache, page_offset, condition, access_mode=mode)
+            stub = SyncStub(cache, page_offset, entry.condition,
+                            access_mode=mode)
+            stub.inflight = entry
             self.global_map.insert(cache, page_offset, stub)
             stubs.append(stub)
         try:
-            self.cache_engine.pull(cache, offset, size, mode)
+            self.cache_engine.pull(cache, offset, size, mode,
+                                   readahead=readahead)
         except BaseException:
             # The mapper failed (e.g. out of frames during fillUp):
             # never leave an unresolvable stub behind — sleepers
-            # would hang forever.
+            # would hang forever.  Resolving every stub also retires
+            # the in-flight entry (its last page_done fires here).
             for stub in stubs:
                 if self.global_map.lookup(cache, stub.offset) is stub:
                     self.global_map.remove(cache, stub.offset)
@@ -365,7 +379,7 @@ class CacheOpsMixin:
         for stub in stubs:
             if not stub.done \
                     and self.global_map.lookup(cache, stub.offset) is stub:
-                self._wait_stub(stub)
+                self._wait_stub(stub, leader=True)
 
     def _prefetch_range(self, cache: PvmCache, offset: int,
                         size: int) -> None:
@@ -396,23 +410,30 @@ class CacheOpsMixin:
                 else:
                     self._pull_span(cache, run_start,
                                     run_end + self.page_size - run_start,
-                                    AccessMode.READ)
+                                    AccessMode.READ, readahead=True)
                     run_start = run_end = page_offset
             else:
                 if run_start is not None:
                     self._pull_span(cache, run_start,
                                     run_end + self.page_size - run_start,
-                                    AccessMode.READ)
+                                    AccessMode.READ, readahead=True)
                     run_start = run_end = None
                 self._page_for_explicit_read(cache, page_offset)
         if run_start is not None:
             self._pull_span(cache, run_start,
                             run_end + self.page_size - run_start,
-                            AccessMode.READ)
+                            AccessMode.READ, readahead=True)
 
-    def _wait_stub(self, stub: SyncStub) -> None:
-        """Sleep until the in-transit page arrives."""
+    def _wait_stub(self, stub: SyncStub, leader: bool = False) -> None:
+        """Sleep until the in-transit page arrives.
+
+        *leader* marks the puller itself waiting for its own fills;
+        anyone else arriving here coalesced onto an in-flight pull —
+        the fault that would have been a duplicate pullIn became a
+        queued waiter (``engine.inflight.coalesced``)."""
         stub.waiters += 1
         stub.cache.stats.stub_waits += 1
+        if not leader and stub.inflight is not None:
+            self.inflight.join(stub.inflight)
         while not stub.done:
             stub.condition.wait()

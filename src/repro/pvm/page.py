@@ -27,7 +27,7 @@ class SyncStub:
     pushOut in progress); any access sleeps until it completes."""
 
     __slots__ = ("cache", "offset", "condition", "done", "waiters",
-                 "access_mode")
+                 "access_mode", "inflight")
 
     def __init__(self, cache: "PvmCache", offset: int, condition,
                  access_mode=None):
@@ -39,10 +39,19 @@ class SyncStub:
         #: AccessMode of the pullIn in progress; fillUp grants write
         #: access iff the data was pulled for writing.
         self.access_mode = access_mode
+        #: the in-flight extent entry this stub belongs to (stubs of
+        #: one ranged pull share the entry — and its condition).
+        self.inflight = None
 
     def resolve(self) -> None:
-        """Mark the transfer complete and wake all sleepers."""
+        """Mark the transfer complete and wake all sleepers
+        (idempotent: a stub lands exactly once)."""
+        if self.done:
+            return
         self.done = True
+        entry = self.inflight
+        if entry is not None:
+            entry.page_done()
         self.condition.notify_all()
 
     def __repr__(self) -> str:

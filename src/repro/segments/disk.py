@@ -50,19 +50,44 @@ class SimulatedDisk:
         self.clock.advance(self.transfer_ms)
         self._last_block = block
 
-    def read_block(self, block: int) -> bytes:
-        """Read one page-sized block (zeroes when never written)."""
+    # -- the charge half (submit-time: latency model + counters) ---------------
+
+    def charge_read(self, block: int) -> None:
+        """Charge one block read (seek state advances; no bytes move)."""
         self._charge(block, CostEvent.DISK_READ_PAGE)
         self.reads += 1
+
+    def charge_write(self, block: int) -> None:
+        """Charge one block write (seek state advances; no bytes move)."""
+        self._charge(block, CostEvent.DISK_WRITE_PAGE)
+        self.writes += 1
+
+    # -- the byte half (charge-free; a pool thread may run it) -----------------
+
+    def peek(self, block: int) -> bytes:
+        """Raw block bytes (zeroes when never written); never charges
+        and never moves the seek arm."""
         return self._blocks.get(block, bytes(self.page_size))
+
+    def poke(self, block: int, data: bytes) -> None:
+        """Raw block store (short data is zero-padded); charge-free."""
+        if len(data) > self.page_size:
+            raise InvalidOperation("block write larger than a page")
+        self._blocks[block] = data + bytes(self.page_size - len(data))
+
+    # -- the combined (synchronous) form ---------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        """Read one page-sized block (zeroes when never written)."""
+        self.charge_read(block)
+        return self.peek(block)
 
     def write_block(self, block: int, data: bytes) -> None:
         """Write one block (short data is zero-padded)."""
         if len(data) > self.page_size:
             raise InvalidOperation("block write larger than a page")
-        self._charge(block, CostEvent.DISK_WRITE_PAGE)
-        self.writes += 1
-        self._blocks[block] = data + bytes(self.page_size - len(data))
+        self.charge_write(block)
+        self.poke(block, data)
 
     @property
     def used_blocks(self) -> int:

@@ -52,6 +52,37 @@ class DiskMapper(Mapper):
             raise CapabilityError(f"unknown file segment {key:#x}")
         return table
 
+    def charge_read(self, key: int, offset: int, size: int) -> None:
+        """Submit-time disk charges: one per *present* block of the
+        range, in position order (holes are free, exactly as the old
+        synchronous path never touched the disk for them)."""
+        table = self._table(key)
+        page_size = self.disk.page_size
+        position = offset
+        end = offset + size
+        while position < end:
+            page_index = position // page_size
+            chunk = min(page_size - position % page_size, end - position)
+            block = table.get(page_index)
+            if block is not None:
+                self.disk.charge_read(block)
+            position += chunk
+
+    def charge_write(self, key: int, offset: int, size: int) -> None:
+        """Submit-time disk charges *and* block allocation: later seek
+        charges depend on block numbers, so placement must be decided
+        in program order, not at drain time."""
+        table = self._table(key)
+        page_size = self.disk.page_size
+        for index in range(0, size, page_size):
+            page_index = (offset + index) // page_size
+            block = table.get(page_index)
+            if block is None:
+                block = next(self._next_block)
+                table[page_index] = block
+            self.disk.charge_write(block)
+        self._sizes[key] = max(self._sizes.get(key, 0), offset + size)
+
     def read_range(self, key: int, offset: int, size: int) -> bytes:
         table = self._table(key)
         page_size = self.disk.page_size
@@ -66,7 +97,7 @@ class DiskMapper(Mapper):
             if block is None:
                 parts.append(bytes(chunk))
             else:
-                parts.append(self.disk.read_block(block)[in_page:in_page + chunk])
+                parts.append(self.disk.peek(block)[in_page:in_page + chunk])
             position += chunk
         return b"".join(parts)
 
@@ -77,9 +108,11 @@ class DiskMapper(Mapper):
             page_index = (offset + index) // page_size
             block = table.get(page_index)
             if block is None:
+                # Direct (uncharged) callers only: write_segment /
+                # prepare_write already allocated in charge_write.
                 block = next(self._next_block)
                 table[page_index] = block
-            self.disk.write_block(block, data[index:index + page_size])
+            self.disk.poke(block, data[index:index + page_size])
         self._sizes[key] = max(self._sizes.get(key, 0), offset + len(data))
 
     def segment_size(self, key: int) -> int:

@@ -33,6 +33,13 @@ Five rules keep the stack honest — the same discipline the paper's
    not import each other — contexts, the MMU ports, the residency
    index — so it must import neither backends nor ``repro.hardware``
    nor ``repro.cache``.
+6. **The I/O scheduler is engine-internal.**  ``repro.engine.io``
+   imports no backend and no hardware (sharpened rule 2: the scheduler
+   moves bytes for any mapper without knowing who owns them), and no
+   module outside ``repro.engine`` imports ``repro.engine.io``
+   directly — backends and the cache subsystem reach the scheduler
+   only through the ``repro.engine`` facade (or the duck-typed
+   ``vm.io`` attribute, which imports nothing).
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -69,6 +76,10 @@ SEGMENTS_ALLOWED = ("repro.cache", "repro.segments", "repro.errors",
 #: prefixes the extent primitives must never import (they are a leaf
 #: shared across otherwise-unrelated layers).
 EXTENTS_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware", "repro.cache")
+
+#: the engine-internal scheduler module: only the ``repro.engine``
+#: facade may import it.
+IO_MODULE = "repro.engine.io"
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -130,8 +141,18 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                        for banned in ENGINE_FORBIDDEN):
                     violations.append((
                         module, imported,
-                        "repro.engine must not import backends or "
-                        "hardware",
+                        "the I/O scheduler must not import backends "
+                        "or hardware" if _under(module, IO_MODULE)
+                        else "repro.engine must not import backends "
+                             "or hardware",
+                    ))
+        else:
+            for imported in imports:
+                if _under(imported, IO_MODULE):
+                    violations.append((
+                        module, imported,
+                        "the I/O scheduler is engine-internal: go "
+                        "through the repro.engine facade",
                     ))
         if _under(module, "repro.obs"):
             for imported in imports:

@@ -204,7 +204,7 @@ def cmd_bench(args) -> int:
     if args.record:
         current = record(args.out, workloads=workloads, backends=backends,
                          repeats=args.repeats, label=args.label,
-                         cluster=args.cluster)
+                         cluster=args.cluster, io_threads=args.io_threads)
         print(f"recorded {len(current['results'])} cells to {args.out}")
     if args.compare:
         baseline = load(args.compare)
@@ -214,7 +214,8 @@ def cmd_bench(args) -> int:
             else:
                 current = run_suite(workloads=workloads, backends=backends,
                                     repeats=args.repeats, label=args.label,
-                                    cluster=args.cluster)
+                                    cluster=args.cluster,
+                                    io_threads=args.io_threads)
         report = compare(baseline, current, threshold=args.threshold)
         print(format_compare(report))
         if report["regressions"]:
@@ -351,13 +352,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record and/or compare flight-recorder runs")
     bench.add_argument("--record", action="store_true",
                        help="run the suite and write the result document")
-    bench.add_argument("--out", default="BENCH_6.json", metavar="FILE",
-                       help="where --record writes (default: BENCH_6.json)")
+    bench.add_argument("--out", default="BENCH_7.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_7.json)")
     bench.add_argument("--cluster", default="adaptive",
                        choices=("off", "fixed", "adaptive"),
                        help="fault-clustering (read-ahead) policy for "
                             "the run (default: adaptive); virtual times "
                             "are identical across settings by design")
+    bench.add_argument("--io-threads", type=int, default=2,
+                       metavar="N",
+                       help="I/O scheduler pool size for the run "
+                            "(default: 2; 0 = synchronous pass-through); "
+                            "virtual times are identical across settings "
+                            "by design")
     bench.add_argument("--compare", default=None, metavar="BASELINE",
                        help="baseline document to gate against")
     bench.add_argument("--current", default=None, metavar="FILE",

@@ -1,0 +1,114 @@
+"""The in-flight table: extent-granular dedup of concurrent pulls."""
+
+import pytest
+
+from repro.engine import InFlightTable
+from repro.errors import InvalidOperation
+from repro.kernel.sync import ThreadedSync
+
+PAGE = 4096
+
+
+class FakeCache:
+    _serial = 0
+
+    def __init__(self, name="seg"):
+        FakeCache._serial += 1
+        self.cache_id = FakeCache._serial
+        self.name = name
+
+
+def make_table():
+    sync = ThreadedSync()
+    return InFlightTable(sync, sync.lock(), page_size=PAGE)
+
+
+class TestLifecycle:
+    def test_begin_aligns_to_page_bounds(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, PAGE + 10, 100)
+        assert entry.offset == PAGE
+        assert entry.size == PAGE
+        assert entry.remaining == 1
+        assert table.depth == 1
+
+    def test_entry_retires_when_last_page_lands(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, 0, 3 * PAGE)
+        assert entry.remaining == 3
+        entry.page_done()
+        entry.page_done()
+        assert not entry.done
+        assert table.covering(cache, PAGE) is entry
+        entry.page_done()
+        assert entry.done
+        assert table.depth == 0
+        assert table.covering(cache, PAGE) is None
+
+    def test_pages_may_land_out_of_order(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, 0, 2 * PAGE)
+        for _ in range(2):
+            entry.page_done()
+        assert entry.done
+        assert table.stats["completed"] == 1
+
+    def test_overlapping_begin_is_a_protocol_error(self):
+        table = make_table()
+        cache = FakeCache()
+        table.begin(cache, 0, 4 * PAGE)
+        with pytest.raises(InvalidOperation):
+            table.begin(cache, 2 * PAGE, PAGE)
+
+    def test_disjoint_extents_and_other_caches_coexist(self):
+        table = make_table()
+        cache, other = FakeCache("a"), FakeCache("b")
+        first = table.begin(cache, 0, PAGE)
+        second = table.begin(cache, 8 * PAGE, PAGE)
+        third = table.begin(other, 0, PAGE)
+        assert table.depth == 3
+        assert table.covering(cache, 0) is first
+        assert table.covering(cache, 8 * PAGE) is second
+        assert table.covering(other, 0) is third
+
+
+class TestJoining:
+    def test_join_counts_coalesced_faulters(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, 0, 2 * PAGE)
+        table.join(entry)
+        table.join(entry)
+        assert entry.joiners == 2
+        assert table.stats["joined"] == 2
+
+    def test_all_stubs_share_the_entry_condition(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, 0, 4 * PAGE)
+        # One broadcast on the shared condition covers every sleeper,
+        # whichever page of the run it faulted on.
+        assert entry.condition is entry.condition
+
+
+class TestRelease:
+    def test_release_forgets_a_destroyed_cache(self):
+        table = make_table()
+        cache = FakeCache()
+        entry = table.begin(cache, 0, PAGE)
+        entry.page_done()
+        table.release(cache.cache_id)
+        assert table.covering(cache, 0) is None
+
+    def test_depth_peak_tracks_high_water_mark(self):
+        table = make_table()
+        cache = FakeCache()
+        first = table.begin(cache, 0, PAGE)
+        second = table.begin(cache, 4 * PAGE, PAGE)
+        first.page_done()
+        second.page_done()
+        assert table.depth == 0
+        assert table.stats["depth_peak"] == 2

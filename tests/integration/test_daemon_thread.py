@@ -7,7 +7,7 @@ from repro.gmi.upcalls import ZeroFillProvider
 from repro.kernel.clock import CostEvent
 from repro.nucleus import Nucleus
 from repro.nucleus.threads import Scheduler
-from repro.pvm.writeback import WritebackDaemon
+from repro.cache.writeback import WritebackDaemon
 from repro.units import KB, MB
 
 PAGE = 8 * KB

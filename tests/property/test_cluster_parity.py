@@ -46,10 +46,15 @@ def run(policy, sequence, advice):
         else:
             vm.user_read(context, vaddr, 1)
     data = vm.user_read(context, BASE, PAGES * PAGE)
+    # engine.cluster.*, engine.inflight.* and io.queue.* describe how
+    # the engine shaped the work (window sizes, pull spans, queued
+    # requests) — clustering is allowed to change those; everything it
+    # accounts for (charges, faults, pulls, hits/misses) must not move.
     counters = {
         key: value
         for key, value in vm.metrics_snapshot()["counters"].items()
-        if not key.startswith("engine.cluster.")
+        if not key.startswith(("engine.cluster.", "engine.inflight.",
+                               "io.queue."))
     }
     return vm.clock.now(), counters, data
 

@@ -5,7 +5,7 @@ import pytest
 from repro.gmi.upcalls import ZeroFillProvider
 from repro.kernel.clock import CostEvent
 from repro.pvm import PagedVirtualMemory
-from repro.pvm.writeback import WritebackDaemon
+from repro.cache.writeback import WritebackDaemon
 from repro.units import KB, MB
 
 PAGE = 8 * KB

@@ -168,6 +168,36 @@ class TestDetectsViolations:
         })
         assert check_layers(tmp_path) == []
 
+    def test_io_scheduler_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "engine/io.py": "from repro.pvm.page import SyncStub\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.engine.io"
+        assert "I/O scheduler" in violations[0][2]
+
+    def test_backend_importing_io_scheduler_directly_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "pvm/sneaky.py": "from repro.engine.io import IoScheduler\n",
+        })
+        violations = check_layers(tmp_path)
+        assert [(m, i) for m, i, _ in violations] == \
+            [("repro.pvm.sneaky", "repro.engine.io")]
+        assert "engine facade" in violations[0][2]
+
+    def test_cache_importing_io_scheduler_directly_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "cache/sneaky.py": "import repro.engine.io\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_engine_facade_may_import_io_scheduler(self, tmp_path):
+        _make_tree(tmp_path, {
+            "engine/__init__.py":
+                "from repro.engine.io import IoScheduler\n",
+        })
+        assert check_layers(tmp_path) == []
+
     def test_cli_reports_failure(self, tmp_path, capsys):
         _make_tree(tmp_path, {
             "minimal/sneaky.py": "import repro.hardware.bus\n",
