@@ -547,9 +547,10 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
     too (it should be exactly 0.0 — the virtual clock is
     deterministic — so any drift means the mechanisms changed), but
     only wall time gates.  Each row also carries the cell's TLB hit
-    rate on both sides, and the current cell's I/O-queue depth peak
-    and coalesce rate (None when that recording predates those
-    gauges).
+    rate and memory-stall share (``psi.memory.some.total_ms`` over the
+    cell's virtual time) on both sides, and the current cell's
+    I/O-queue depth peak and coalesce rate (None when that recording
+    predates those gauges).
     """
     baseline_cells = {(cell["workload"], cell["backend"]): cell
                       for cell in baseline["results"]}
@@ -567,6 +568,8 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "virtual_drift_ms": None,
                          "baseline_tlb_hit_rate": None,
                          "tlb_hit_rate": _tlb_hit_rate(cell),
+                         "baseline_stall_fraction": None,
+                         "stall_fraction": _stall_fraction(cell),
                          "io_depth_peak": _gauge(cell,
                                                  "io.queue.depth_peak"),
                          "io_coalesce_rate":
@@ -585,6 +588,8 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"],
                "baseline_tlb_hit_rate": _tlb_hit_rate(base),
                "tlb_hit_rate": _tlb_hit_rate(cell),
+               "baseline_stall_fraction": _stall_fraction(base),
+               "stall_fraction": _stall_fraction(cell),
                "io_depth_peak": _gauge(cell, "io.queue.depth_peak"),
                "io_coalesce_rate": _gauge(cell, "io.queue.coalesce_rate")}
         rows.append(row)
@@ -600,6 +605,9 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
                          "baseline_tlb_hit_rate":
                              _tlb_hit_rate(baseline_cells[key]),
                          "tlb_hit_rate": None,
+                         "baseline_stall_fraction":
+                             _stall_fraction(baseline_cells[key]),
+                         "stall_fraction": None,
                          "io_depth_peak": None,
                          "io_coalesce_rate": None})
     rows.sort(key=lambda row: (row["workload"], row["backend"]))
@@ -617,6 +625,19 @@ def _gauge(cell: dict, name: str) -> Optional[float]:
     return cell.get("metrics", {}).get("gauges", {}).get(name)
 
 
+def _stall_fraction(cell: dict) -> Optional[float]:
+    """The cell's memory-stall share: ``psi.memory.some.total_ms``
+    over the snapshot's virtual time (None when the recording predates
+    the pressure board)."""
+    total = _gauge(cell, "psi.memory.some.total_ms")
+    if total is None:
+        return None
+    virtual = cell.get("metrics", {}).get("meta", {}).get("virtual_ms")
+    if not virtual:
+        return 0.0 if total == 0.0 else None
+    return total / virtual
+
+
 def _format_hit_rate(value: Optional[float]) -> str:
     return "-" if value is None else f"{value * 100:.1f}%"
 
@@ -624,8 +645,8 @@ def _format_hit_rate(value: Optional[float]) -> str:
 def format_compare(report: dict) -> str:
     """Render a compare report as the per-workload delta table."""
     headers = ("workload", "backend", "base ms", "now ms", "ratio",
-               "vdrift ms", "tlb base", "tlb now", "ioq peak",
-               "coalesce", "status")
+               "vdrift ms", "tlb base", "tlb now", "stall base",
+               "stall now", "ioq peak", "coalesce", "status")
     table = [headers]
     for row in report["rows"]:
         depth_peak = row.get("io_depth_peak")
@@ -642,6 +663,8 @@ def format_compare(report: dict) -> str:
             else f"{row['virtual_drift_ms']:+.3f}",
             _format_hit_rate(row.get("baseline_tlb_hit_rate")),
             _format_hit_rate(row.get("tlb_hit_rate")),
+            _format_hit_rate(row.get("baseline_stall_fraction")),
+            _format_hit_rate(row.get("stall_fraction")),
             "-" if depth_peak is None else f"{depth_peak:.0f}",
             _format_hit_rate(coalesce),
             row["status"],

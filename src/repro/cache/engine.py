@@ -101,28 +101,36 @@ class CacheEngine:
         vm = self.vm
         page_size = vm.page_size
         pages = max(1, size // page_size)
-        for _ in range(pages):
-            vm.clock.charge(CostEvent.PULL_IN)
-        cache.stats.pull_ins += pages
-        mode_label = mode.name.lower()
-        probe = vm.probe
-        # Labeled: which segment is paying the upcalls, and for what
-        # access mode (rolls up into the plain `cache.pull_in` count).
-        probe.count("cache.pull_in", pages, segment=cache.name,
-                    mode=mode_label)
-        probe.count("cache.miss", pages, segment=cache.name)
-        with probe.span("cache.pull_in") as span:
-            if span:
-                span.set(cache=cache.name, offset=offset,
-                         mode=mode_label, pages=pages)
-            with self._classify(vm, readahead=readahead):
-                if pages == 1 or getattr(cache.provider, "batched", False):
-                    cache.provider.pull_in(cache, offset, size, mode)
-                else:
-                    for index in range(pages):
-                        cache.provider.pull_in(
-                            cache, offset + index * page_size, page_size,
-                            mode)
+        board = getattr(vm, "pressure", None)
+        # The whole pull — upcall charges included — is a memory stall
+        # for whoever faulted: the PSI bracket reads the virtual clock
+        # around it, never charging anything itself.
+        with board.stall("pull") if board is not None else nullcontext():
+            for _ in range(pages):
+                vm.clock.charge(CostEvent.PULL_IN)
+            cache.stats.pull_ins += pages
+            mode_label = mode.name.lower()
+            probe = vm.probe
+            # Labeled: which segment is paying the upcalls, and for what
+            # access mode (rolls up into the plain `cache.pull_in` count).
+            probe.count("cache.pull_in", pages, segment=cache.name,
+                        mode=mode_label)
+            probe.count("cache.miss", pages, segment=cache.name)
+            if board is not None:
+                board.pulled(pages)
+            with probe.span("cache.pull_in") as span:
+                if span:
+                    span.set(cache=cache.name, offset=offset,
+                             mode=mode_label, pages=pages)
+                with self._classify(vm, readahead=readahead):
+                    if pages == 1 or getattr(cache.provider, "batched",
+                                             False):
+                        cache.provider.pull_in(cache, offset, size, mode)
+                    else:
+                        for index in range(pages):
+                            cache.provider.pull_in(
+                                cache, offset + index * page_size,
+                                page_size, mode)
 
     def push(self, cache, offset: int, size: int,
              reason: str = "flush") -> None:
@@ -141,24 +149,40 @@ class CacheEngine:
         for _ in range(pages):
             vm.clock.charge(CostEvent.PUSH_OUT)
         cache.stats.push_outs += pages
-        vm.probe.count("cache.writeback", pages, segment=cache.name,
-                       reason=reason)
+        probe = vm.probe
+        probe.count("cache.writeback", pages, segment=cache.name,
+                    reason=reason)
+        board = getattr(vm, "pressure", None)
+        if board is not None:
+            board.pushed(pages)
         token = None
+        backpressure = False
         io = getattr(vm, "io", None)
         if io is not None and io.threads and reason in ("writeback",
                                                         "evict"):
             queue = getattr(vm, "write_behind", None)
             if queue is not None:
                 token = queue.offer(pages)
-        with self._classify(vm, write_behind=token is not None,
-                            on_done=None if token is None
-                            else token.complete):
-            if pages == 1 or getattr(cache.provider, "batched", False):
-                cache.provider.push_out(cache, offset, size)
-            else:
-                for index in range(pages):
-                    cache.provider.push_out(
-                        cache, offset + index * page_size, page_size)
+                # A full write-behind queue turns this pushOut
+                # synchronous: the producer stalls on its own bytes.
+                backpressure = token is None
+        stall = (board.stall("writeback")
+                 if board is not None and backpressure else nullcontext())
+        # The push span is what deferred byte-halves re-parent under
+        # (the scheduler captures the span context at submit).
+        with probe.span("cache.push_out") as span, stall:
+            if span:
+                span.set(cache=cache.name, offset=offset, pages=pages,
+                         reason=reason)
+            with self._classify(vm, write_behind=token is not None,
+                                on_done=None if token is None
+                                else token.complete):
+                if pages == 1 or getattr(cache.provider, "batched", False):
+                    cache.provider.push_out(cache, offset, size)
+                else:
+                    for index in range(pages):
+                        cache.provider.push_out(
+                            cache, offset + index * page_size, page_size)
         for index in range(pages):
             resident = cache.pages.get(offset + index * page_size)
             if resident is not None:
@@ -217,7 +241,13 @@ class CacheEngine:
                             dirty, vm.page_size):
                         self.push(cache, run_offset, run_size,
                                   reason="evict")
+                board = getattr(vm, "pressure", None)
                 for page in victims:
+                    if board is not None:
+                        # Caused by the current task's space, suffered
+                        # by every space that had the frame mapped.
+                        board.eviction({space for space, _
+                                        in page.mappings})
                     vm.discard_page(page)
                 if span:
                     span.set(target=target, freed=len(victims))

@@ -26,10 +26,11 @@ the ``repro.engine`` facade.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import InvalidOperation
 from repro.extents import IntervalMap
+from repro.obs.metrics import series_name
 from repro.obs.probe import NULL_PROBE
 
 
@@ -82,9 +83,23 @@ class InFlightTable:
         self.probe = probe if probe is not None else NULL_PROBE
         #: cache_id -> IntervalMap of in-transit extents.
         self._extents: Dict[int, IntervalMap] = {}
+        #: cache_id -> precomputed (begin, coalesced) labeled series
+        #: keys, so a paused registry costs one attribute check per
+        #: begin/join instead of a label dict and format.
+        self._series: Dict[int, Tuple[str, str]] = {}
         self._depth = 0
         self.stats = {"begun": 0, "completed": 0, "joined": 0,
                       "depth_peak": 0}
+
+    def _series_for(self, cache) -> Tuple[str, str]:
+        series = self._series.get(cache.cache_id)
+        if series is None:
+            label = {"segment": cache.name}
+            series = self._series[cache.cache_id] = (
+                series_name("engine.inflight.begin", label),
+                series_name("engine.inflight.coalesced", label),
+            )
+        return series
 
     # -- registration (the pulling side) -------------------------------------
 
@@ -113,8 +128,8 @@ class InFlightTable:
         self.stats["begun"] += 1
         if self._depth > self.stats["depth_peak"]:
             self.stats["depth_peak"] = self._depth
-        self.probe.count("engine.inflight.begin",
-                         segment=cache.name)
+        if self.probe.registry.enabled:
+            self.probe.count(self._series_for(cache)[0])
         return entry
 
     def _finish(self, entry: InFlightEntry) -> None:
@@ -134,8 +149,8 @@ class InFlightTable:
         the entry's condition instead of issuing its own pullIn)."""
         entry.joiners += 1
         self.stats["joined"] += 1
-        self.probe.count("engine.inflight.coalesced",
-                         segment=entry.cache.name)
+        if self.probe.registry.enabled:
+            self.probe.count(self._series_for(entry.cache)[1])
 
     def covering(self, cache, offset: int) -> Optional[InFlightEntry]:
         """The in-flight entry covering (cache, offset), if any."""
@@ -152,8 +167,10 @@ class InFlightTable:
         return self._depth
 
     def release(self, cache_id: int) -> None:
-        """Forget a destroyed cache's (necessarily completed) extents."""
+        """Forget a destroyed cache's (necessarily completed) extents
+        and its cached series keys."""
         self._extents.pop(cache_id, None)
+        self._series.pop(cache_id, None)
 
     def __repr__(self) -> str:
         return (f"InFlightTable({self._depth} in flight, "

@@ -58,24 +58,28 @@ class IoWrite:
     ``write_range``.  ``scopes`` are the classification scopes whose
     completion callbacks this request still owes.
 
-    The bytes live as ``(seq, offset, data)`` fragments: adjacency
+    The bytes live as ``(seq, offset, data, ctx)`` fragments: adjacency
     coalescing *appends* to the list (zero-copy on the submitting
     thread — the fault path never pays a merge memcpy); execution
     applies the fragments in global submit order, so later writes of
-    an overlap land last whichever request absorbed them."""
+    an overlap land last whichever request absorbed them.  ``ctx`` is
+    the submitting span's ``Probe.span_context()`` capture (or None):
+    the byte half executed on a pool thread re-parents under the fault
+    or push span that paid for the write, not under whatever the kernel
+    thread is doing at drain time."""
 
     __slots__ = ("mapper", "key", "offset", "end", "size", "fragments",
                  "priority", "seq", "scopes", "taken")
 
     def __init__(self, mapper, key: int, offset: int, data: bytes,
-                 priority: int, seq: int, scopes: list):
+                 priority: int, seq: int, scopes: list, ctx=None):
         self.mapper = mapper
         self.key = key
         self.offset = offset
         self.end = offset + len(data)
         #: bytes buffered (fragment lengths, pre-dedup of overlap).
         self.size = len(data)
-        self.fragments = [(seq, offset, data)]
+        self.fragments = [(seq, offset, data, ctx)]
         self.priority = priority
         self.seq = seq
         self.scopes = scopes
@@ -149,10 +153,14 @@ class IoScheduler:
     def __init__(self, threads: int = 0, probe=None,
                  max_buffered_bytes: int = 8 * 1024 * 1024,
                  wake_bytes: int = 4 * 1024 * 1024,
-                 max_coalesce_bytes: int = 128 * 1024):
+                 max_coalesce_bytes: int = 128 * 1024,
+                 pressure=None):
         #: pool size; 0 means strictly synchronous pass-through.
         self.threads = max(0, int(threads))
         self.probe = probe if probe is not None else NULL_PROBE
+        #: optional duck-typed pressure board (repro.obs.pressure):
+        #: queue-overflow backpressure is noted as a stall event.
+        self.pressure = pressure
         self.max_buffered_bytes = max_buffered_bytes
         #: dispatch watermark: workers are woken only once this many
         #: bytes are pending (or at flush/close).  Batched dispatch
@@ -283,9 +291,13 @@ class IoScheduler:
         self.stats["deferred"] += 1
         if scope is not None:
             scope.deferred += 1
+        # Captured on the submitting thread: the span the byte half
+        # will re-parent under when a pool thread drains it.
+        ctx = self.probe.span_context()
         overflowed = False
         with self._mutex:
-            if self._coalesce_locked(mapper, key, offset, data, scope):
+            if self._coalesce_locked(mapper, key, offset, data, scope,
+                                     ctx):
                 self.stats["coalesced"] += 1
                 self.probe.count("io.queue.coalesced")
                 return
@@ -293,12 +305,16 @@ class IoScheduler:
                 overflowed = True
             else:
                 self._enqueue_locked(mapper, key, offset, data, priority,
-                                     scope)
+                                     scope, ctx)
                 return
         # Queue over budget: the submitter absorbs the write itself —
         # backpressure by stalling the producer, never by dropping.
         self.stats["stalls"] += 1
         self.probe.count("io.queue.stall")
+        if self.pressure is not None:
+            # The inline byte half is charge-free (zero virtual time),
+            # so this is a counted stall event, not an interval.
+            self.pressure.note_stall("io.queue")
         if overflowed:
             self.stats["inline"] += 1
             self._wait_executing(mapper, key, offset, offset + len(data))
@@ -390,41 +406,54 @@ class IoScheduler:
         else:
             mapper.write_range(key, offset, data)
 
+    def _write_run(self, request: IoWrite, offset: int,
+                   parts: List[bytes], ctx) -> None:
+        """One contiguous ``write_range``, traced as an adopted span
+        nested under the span that submitted the run's first fragment
+        (a no-op when tracing was off at submit time)."""
+        data = parts[0] if len(parts) == 1 else b"".join(parts)
+        span = self.probe.adopted_span("io.write_range", ctx)
+        if span:
+            with span:
+                span.set(key=request.key, offset=offset, size=len(data))
+                request.mapper.write_range(request.key, offset, data)
+        else:
+            request.mapper.write_range(request.key, offset, data)
+
     def _execute_request(self, request: IoWrite) -> None:
         """Drain one queued request: fragments in global submit order,
         so overlapping bytes land newest-last.  Contiguous fragments
         are stitched into single ``write_range`` calls."""
         fragments = request.fragments
         if len(fragments) > 1:
+            # Sequence numbers are unique, so the sort never compares
+            # the data or span-context elements.
             fragments.sort()
         with self._mapper_lock(request.mapper) if self.threads \
                 else nullcontext():
             run_offset = run_end = None
             run_parts: List[bytes] = []
-            for _, offset, data in fragments:
+            run_ctx = None
+            for _, offset, data, ctx in fragments:
                 if run_offset is not None and offset == run_end:
                     run_parts.append(data)
                     run_end += len(data)
                     continue
                 if run_offset is not None:
-                    request.mapper.write_range(
-                        request.key, run_offset,
-                        run_parts[0] if len(run_parts) == 1
-                        else b"".join(run_parts))
-                run_offset, run_end, run_parts = \
-                    offset, offset + len(data), [data]
+                    self._write_run(request, run_offset, run_parts,
+                                    run_ctx)
+                run_offset, run_end, run_parts, run_ctx = \
+                    offset, offset + len(data), [data], ctx
             if run_offset is not None:
-                request.mapper.write_range(
-                    request.key, run_offset,
-                    run_parts[0] if len(run_parts) == 1
-                    else b"".join(run_parts))
+                self._write_run(request, run_offset, run_parts, run_ctx)
 
     def _enqueue_locked(self, mapper, key: int, offset: int, data: bytes,
-                        priority: int, scope: Optional[IoScope]) -> None:
+                        priority: int, scope: Optional[IoScope],
+                        ctx=None) -> None:
         self._seq += 1
         scopes = [] if scope is None else [scope]
         request = IoWrite(mapper, key, offset, data, priority, self._seq,
-                          scopes)
+                          scopes, ctx)
         if scope is not None:
             scope.outstanding += 1
         heapq.heappush(self._heap, (priority, self._seq, request))
@@ -437,7 +466,7 @@ class IoScheduler:
             self._work.notify()
 
     def _coalesce_locked(self, mapper, key: int, offset: int, data: bytes,
-                         scope: Optional[IoScope]) -> bool:
+                         scope: Optional[IoScope], ctx=None) -> bool:
         """Fold the write into queued requests it overlaps or touches.
 
         The new range and every touching request collapse into the
@@ -469,7 +498,7 @@ class IoScheduler:
             base.size += request.size
             base.scopes.extend(request.scopes)
             request.scopes = []
-        base.fragments.append((self._seq, offset, data))
+        base.fragments.append((self._seq, offset, data, ctx))
         base.size += len(data)
         base.offset = lo
         base.end = hi

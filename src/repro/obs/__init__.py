@@ -29,20 +29,30 @@ from repro.obs.export import (
     write_collapsed_stacks,
 )
 from repro.obs.metrics import MetricsRegistry, series_name, split_series
+from repro.obs.pressure import (
+    STALL_WINDOWS_MS, PressureBoard, SpaceAccount, StallWindow,
+    extent_overlap_pages,
+)
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.schema import SNAPSHOT_SCHEMA, validate
 from repro.obs.sinks import (
     NULL_SINK, CallbackSink, JsonlSink, NullSink, RingBufferSink, SpanSink,
 )
-from repro.obs.span import NOOP_SPAN, NoopSpan, Span
+from repro.obs.span import NOOP_SPAN, AdoptedSpan, NoopSpan, Span
 
 __all__ = [
     "MetricsRegistry",
     "series_name",
     "split_series",
+    "PressureBoard",
+    "SpaceAccount",
+    "StallWindow",
+    "STALL_WINDOWS_MS",
+    "extent_overlap_pages",
     "Probe",
     "NULL_PROBE",
     "Span",
+    "AdoptedSpan",
     "NoopSpan",
     "NOOP_SPAN",
     "SpanSink",

@@ -261,6 +261,29 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name, default)
 
+    def labeled_gauges(self, name: str) -> Dict[str, float]:
+        """Every labeled series of gauge *name*, keyed by series."""
+        prefix = name + "{"
+        with self._lock:
+            return {
+                key: value for key, value in self._gauges.items()
+                if key.startswith(prefix)
+            }
+
+    def drop_gauges(self, names: Iterable[str]) -> None:
+        """Remove the given gauges (a plain name takes its labeled
+        series with it).  Gauges have no rollups to adjust and no
+        samplers tracking them, so the generation does not move."""
+        with self._lock:
+            for name in names:
+                self._gauges.pop(name, None)
+                if "{" in name:
+                    continue
+                prefix = name + "{"
+                for key in [key for key in self._gauges
+                            if key.startswith(prefix)]:
+                    del self._gauges[key]
+
     # -- histograms ---------------------------------------------------------
 
     def observe(self, name: str, value: float,

@@ -49,19 +49,32 @@ SNAPSHOT_SCHEMA = {
             # executed pipeline stage: locate, authorize, resolve,
             # materialize, install), the fault-clustering counters
             # (faults_saved / window / wasted_prefault), the in-flight
-            # fault table (begin / coalesced) and the I/O scheduler's
+            # fault table (begin / coalesced), the I/O scheduler's
             # queue counters (read / write per priority, coalesced /
-            # forced / stall) — plus their labeled series.
+            # forced / stall) and the pressure board's per-space
+            # ledgers (``space.*{space=N}`` plus rollups) — plus their
+            # labeled series.
             "patternProperties": {
                 r"^engine\.stage\.": {"type": "integer", "minimum": 0},
                 r"^engine\.cluster\.": {"type": "integer", "minimum": 0},
                 r"^engine\.inflight\.": {"type": "integer", "minimum": 0},
                 r"^io\.queue\.": {"type": "integer", "minimum": 0},
+                r"^space\.": {"type": "integer", "minimum": 0},
             },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },
         "gauges": {
             "type": "object",
+            # PSI stall fractions are ratios in [0, 1]; the remaining
+            # psi.* and space.* gauges (totals, counts, residency) are
+            # non-negative scalars.
+            "patternProperties": {
+                r"^psi\.memory\.(some|full)\.avg": {
+                    "type": "number", "minimum": 0,
+                },
+                r"^psi\.": {"type": "number", "minimum": 0},
+                r"^space\.": {"type": "number", "minimum": 0},
+            },
             "additionalProperties": {"type": "number"},
         },
         "histograms": {

@@ -433,7 +433,14 @@ class CacheOpsMixin:
         queued waiter (``engine.inflight.coalesced``)."""
         stub.waiters += 1
         stub.cache.stats.stub_waits += 1
+        board = self.pressure
         if not leader and stub.inflight is not None:
             self.inflight.join(stub.inflight)
-        while not stub.done:
-            stub.condition.wait()
+            board.inflight_wait()
+        # Sleeping on someone else's (or our own) in-transit page is a
+        # memory stall: bracket the wait for the PSI windows.  The
+        # bracket only reads the virtual clock — waking and resolving
+        # charge exactly what they always did.
+        with board.stall("inflight"):
+            while not stub.done:
+                stub.condition.wait()

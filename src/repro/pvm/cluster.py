@@ -268,6 +268,10 @@ class ClusterMixin:
         probe.count("cache.pull_in", 1, segment=cache.name,
                     mode=mode.name.lower())
         probe.count("cache.miss", 1, segment=cache.name)
+        # Prefetch bypassed CacheEngine.pull, so the per-space ledger
+        # hook there never fired — replay it here so `space.pull_bytes`
+        # is identical with and without clustering (parity test).
+        self.pressure.pulled(1)
         granted = entry.zero or mode is AccessMode.WRITE
         page = RealPageDescriptor(cache, offset, entry.frame,
                                   write_granted=granted)

@@ -57,11 +57,42 @@ class FaultMixin:
     def handle_fault(self, fault: FaultRecord) -> None:
         """Resolve one hardware fault (the bus retries the access)."""
         probe = self.probe
+        pressure = self.pressure
         if probe.enabled:
             with self.lock, probe.span("fault.resolve") as span:
                 span.set(space=fault.space, address=fault.address,
                          write=fault.write)
                 self.clock.charge(CostEvent.FAULT_DISPATCH)
+                pressure.begin_task(fault.space)
+                try:
+                    task = FaultTask(
+                        space=fault.space,
+                        address=fault.address,
+                        write=fault.write,
+                        supervisor=fault.supervisor,
+                        protection_violation=fault.protection_violation,
+                        fault=fault,
+                    )
+                    self.engine.run(task)
+                    pressure.fault(fault.space, fault.write)
+                    span.set(cache=task.cache.name, offset=task.offset)
+                    if self._cluster_on:
+                        self._cluster_after_fault(task.region, task.cache,
+                                                  task.offset, task.write)
+                finally:
+                    pressure.end_task()
+            return
+        # Tracing off — the overwhelmingly common case: no span
+        # machinery at all on the per-fault hot path.
+        with self.lock:
+            self.clock.charge(CostEvent.FAULT_DISPATCH)
+            pressure.begin_task(fault.space)
+            try:
+                if self._cluster_on and self._cluster_fast_fault(fault):
+                    # The page was parked by the prefetcher: adopted and
+                    # installed with the pipeline's exact accounting.
+                    pressure.fault(fault.space, fault.write)
+                    return
                 task = FaultTask(
                     space=fault.space,
                     address=fault.address,
@@ -71,31 +102,12 @@ class FaultMixin:
                     fault=fault,
                 )
                 self.engine.run(task)
-                span.set(cache=task.cache.name, offset=task.offset)
+                pressure.fault(fault.space, fault.write)
                 if self._cluster_on:
                     self._cluster_after_fault(task.region, task.cache,
                                               task.offset, task.write)
-            return
-        # Tracing off — the overwhelmingly common case: no span
-        # machinery at all on the per-fault hot path.
-        with self.lock:
-            self.clock.charge(CostEvent.FAULT_DISPATCH)
-            if self._cluster_on and self._cluster_fast_fault(fault):
-                # The page was parked by the prefetcher: adopted and
-                # installed with the pipeline's exact accounting.
-                return
-            task = FaultTask(
-                space=fault.space,
-                address=fault.address,
-                write=fault.write,
-                supervisor=fault.supervisor,
-                protection_violation=fault.protection_violation,
-                fault=fault,
-            )
-            self.engine.run(task)
-            if self._cluster_on:
-                self._cluster_after_fault(task.region, task.cache,
-                                          task.offset, task.write)
+            finally:
+                pressure.end_task()
 
     def _resolve_mapped(self, context: PvmContext, region: PvmRegion,
                         cache: PvmCache, offset: int, vaddr: int,

@@ -24,7 +24,7 @@ from repro.gmi.types import Protection
 from repro.gmi.upcalls import SegmentProvider, ZeroFillProvider
 from repro.kernel.clock import CostEvent, VirtualClock
 from repro.kernel.sync import HostSync, NullSync
-from repro.obs import Probe
+from repro.obs import PressureBoard, Probe, extent_overlap_pages
 from repro.pvm.cache import PvmCache
 from repro.pvm.cacheops import CacheOpsMixin
 from repro.pvm.cluster import ClusterMixin
@@ -113,6 +113,10 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         self.mmu = mmu
         self.probe = probe or Probe(registry=self.clock.registry)
         self.probe.bind_clock(self.clock)
+        #: the pressure observatory: per-space ledgers plus PSI-style
+        #: stall windows.  Reads the clock, never charges it.
+        self.pressure = PressureBoard(self.probe.registry, self.clock.now,
+                                      page_size=self.memory.page_size)
         self.sync_factory = sync or NullSync()
         self.lock = self.sync_factory.lock()
         self.hw = HardwareLayer(self.mmu, self.clock)
@@ -126,7 +130,8 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         #: and byte order of the direct-mapper path; with a pool,
         #: write-behind bytes drain off the fault path while virtual
         #: charges stay at submit time, in program order.
-        self.io = IoScheduler(threads=io_threads, probe=self.probe)
+        self.io = IoScheduler(threads=io_threads, probe=self.probe,
+                              pressure=self.pressure)
         #: the in-flight table: one entry per extent being pulled;
         #: concurrent faulters on its pages coalesce onto the entry's
         #: shared condition instead of re-pulling.
@@ -203,6 +208,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         probe.gauge("io.queue.coalesce_rate", self.io.coalesce_rate)
         probe.gauge("writeback.pending_pages",
                     self.write_behind.pending_pages)
+        self._publish_pressure()
         snapshot = probe.registry.snapshot()
         return {
             "meta": {
@@ -215,6 +221,33 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             "gauges": snapshot["gauges"],
             "histograms": snapshot["histograms"],
         }
+
+    def _publish_pressure(self) -> None:
+        """Refresh the pressure observatory's snapshot-time gauges:
+        per-space residency (resident cache pages under the space's
+        regions, plus live hardware translations) and the ``psi.*``
+        stall windows."""
+        board = self.pressure
+        if not board.registry.enabled:
+            return
+        page_size = self.page_size
+        extents_of: Dict[int, list] = {}
+        for context in self._space_contexts.values():
+            space = context.space
+            resident = 0
+            mapped = 0
+            for region in context.regions:
+                cache_id = region.cache.cache_id
+                extents = extents_of.get(cache_id)
+                if extents is None:
+                    extents = extents_of[cache_id] = \
+                        self.residency.resident_extents(cache_id)
+                resident += extent_overlap_pages(extents, region.offset,
+                                                 region.size, page_size)
+                mapped += self.hw.resident_count(space, region.address,
+                                                 region.size)
+            board.set_residency(space, resident, mapped)
+        board.publish()
 
     def contexts(self):
         """Live contexts, in creation order."""
@@ -252,6 +285,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                 self.region_destroy(region)
             self.hw.destroy_space(context.space)
             del self._space_contexts[context.space]
+            self.pressure.drop_space(context.space)
             context.destroyed = True
             if self.current_context is context:
                 self.current_context = None

@@ -40,6 +40,12 @@ Five rules keep the stack honest — the same discipline the paper's
    directly — backends and the cache subsystem reach the scheduler
    only through the ``repro.engine`` facade (or the duck-typed
    ``vm.io`` attribute, which imports nothing).
+7. **The pressure board is arithmetic over primitives.**
+   ``repro.obs.pressure`` (per-space ledgers, PSI stall windows) must
+   not import ``repro.cache`` on top of rule 3's backend/hardware ban:
+   callers hand it space ids, page counts and extent tuples, never
+   kernel objects — which is what lets any manager (or a bare test)
+   host a board.
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -80,6 +86,9 @@ EXTENTS_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware", "repro.cache")
 #: the engine-internal scheduler module: only the ``repro.engine``
 #: facade may import it.
 IO_MODULE = "repro.engine.io"
+
+#: the pressure board: rule 3's bans plus the cache subsystem.
+PRESSURE_MODULE = "repro.obs.pressure"
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -162,6 +171,14 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                         module, imported,
                         "repro.obs must not import backends or "
                         "hardware",
+                    ))
+        if _under(module, PRESSURE_MODULE):
+            for imported in imports:
+                if _under(imported, "repro.cache"):
+                    violations.append((
+                        module, imported,
+                        "repro.obs.pressure takes primitives, not "
+                        "cache objects: it must not import repro.cache",
                     ))
         if _under(module, "repro.cache"):
             for imported in imports:

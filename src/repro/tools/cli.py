@@ -11,6 +11,8 @@ obs-dump  run a small workload and emit a JSON metrics snapshot
           collapsed-stack exports)
 bench     record a BENCH_<n>.json flight-recorder run, or compare two
           runs and gate on wall-time regressions
+top       run the multi-space pressure mix and render per-space
+          RSS / fault / stall tables under a PSI header
 layers    verify the layer contract (docs/ARCHITECTURE.md import rules)
 verify    layers + obs-schema validation + bench regression gate in
           one command (the pre-merge check)
@@ -181,6 +183,14 @@ def cmd_obs_dump(args) -> int:
 
     snapshot = vm.metrics_snapshot()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    board = getattr(vm, "pressure", None)
+    if board is not None and board.accounts:
+        # A human-readable pressure digest on stderr (stdout stays
+        # parseable JSON).
+        now = board.now()
+        print(f"psi.memory.some avg10={board.some.avg(10.0, now):.1%} "
+              f"total={board.some.total_ms:.3f}ms over "
+              f"{len(board.accounts)} space(s)", file=sys.stderr)
     if args.trace_out:
         write_chrome_trace(sink.spans, args.trace_out)
         print(f"wrote {len(sink.spans)} spans to {args.trace_out}",
@@ -225,6 +235,14 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_top(args) -> int:
+    """Run the pressure mix and render per-space tables."""
+    from repro.tools.top import run_top
+
+    return run_top(once=args.once, frames=args.frames,
+                   interval=args.interval, io_threads=args.io_threads)
 
 
 def cmd_layers(_args) -> int:
@@ -319,6 +337,7 @@ COMMANDS = {
     "info": cmd_info,
     "obs-dump": cmd_obs_dump,
     "bench": cmd_bench,
+    "top": cmd_top,
     "layers": cmd_layers,
     "verify": cmd_verify,
 }
@@ -347,13 +366,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.add_argument("--stacks-out", default=None, metavar="FILE",
                      help="write the span buffer as collapsed stacks "
                           "(flamegraph input)")
+    top = subparsers.add_parser(
+        "top",
+        help="run the multi-space pressure mix, render per-space "
+             "RSS/fault/stall tables")
+    top.add_argument("--once", action="store_true",
+                     help="run the whole mix, print one final frame")
+    top.add_argument("--frames", type=int, default=4,
+                     help="mix rounds (one frame each; default: 4)")
+    top.add_argument("--interval", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="wall-clock pause between frames (default: 0)")
+    top.add_argument("--io-threads", type=int, default=2, metavar="N",
+                     help="I/O scheduler pool size for the mix "
+                          "(default: 2)")
     bench = subparsers.add_parser(
         "bench",
         help="record and/or compare flight-recorder runs")
     bench.add_argument("--record", action="store_true",
                        help="run the suite and write the result document")
-    bench.add_argument("--out", default="BENCH_7.json", metavar="FILE",
-                       help="where --record writes (default: BENCH_7.json)")
+    bench.add_argument("--out", default="BENCH_8.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_8.json)")
     bench.add_argument("--cluster", default="adaptive",
                        choices=("off", "fixed", "adaptive"),
                        help="fault-clustering (read-ahead) policy for "

@@ -1,0 +1,168 @@
+"""A live ``top`` over the pressure board (``python -m repro top``).
+
+Runs a small multi-space mix — a make-style reader over a mapped
+segment, an interactive editor on an anonymous heap, and a pager
+process that dirties data and forces reclaim — on the CHORUS-priced
+bench nucleus, then renders what the :class:`~repro.obs.PressureBoard`
+saw: one row per address space (RSS, faults, mapper bytes, stall
+share) under a PSI header line.
+
+``--once`` runs the whole mix and prints a single frame (the CI
+acceptance mode); without it the mix advances one round per frame for
+``--frames`` frames, ``--interval`` wall-seconds apart — a watchable
+``top``.  Everything rides the virtual clock, so frames are
+bit-identical from run to run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.units import KB
+
+MIX_BASE = 0x0100_0000
+MIX_SHARED_PAGES = 48
+MIX_ROUNDS = 4
+
+
+def build_mix(io_threads: int = 2) -> dict:
+    """The ``repro.mix`` scenario: three address spaces with distinct
+    memory personalities on one SUN-3/60-calibrated PVM nucleus."""
+    from repro.bench.harness import build_nucleus
+    from repro.gmi.types import Protection
+    from repro.segments.mem_mapper import MemoryMapper
+
+    nucleus = build_nucleus("pvm", io_threads=io_threads)
+    vm = nucleus.vm
+    page = vm.page_size
+
+    # A disk-like mapped segment (every cold read is a priced pullIn
+    # upcall — the stalls the PSI windows measure).
+    mapper = MemoryMapper()
+    nucleus.register_mapper(mapper)
+    data = b"".join(bytes([index % 251 + 1]) * page
+                    for index in range(MIX_SHARED_PAGES))
+    shared = nucleus.segment_manager.bind(mapper.register(data))
+
+    from repro import ZeroFillProvider
+
+    state = {"nucleus": nucleus, "vm": vm, "clock": nucleus.clock,
+             "page": page, "shared": shared, "round": 0}
+    for name, pages in (("make", 16), ("editor", 8), ("pager", 24)):
+        heap = vm.cache_create(ZeroFillProvider(), name=f"{name}.heap")
+        context = vm.context_create(name)
+        context.region_create(MIX_BASE, pages * page,
+                              protection=Protection.RW,
+                              cache=heap, offset=0)
+        state[name] = context
+        state[f"{name}.heap"] = heap
+    # make also maps the shared segment read-write below its heap.
+    state["make"].region_create(MIX_BASE + 0x0100_0000,
+                                MIX_SHARED_PAGES * page,
+                                protection=Protection.RW,
+                                cache=shared, offset=0)
+    return state
+
+
+def mix_round(state: dict) -> None:
+    """One round of the mix (deterministic; rounds differ by stride)."""
+    vm, page = state["vm"], state["page"]
+    round_no = state["round"]
+    state["round"] = round_no + 1
+    make, editor, pager = state["make"], state["editor"], state["pager"]
+
+    # pager: dirty a stripe of its heap, then squeeze residency —
+    # evictions suffered land on whoever had frames mapped.
+    pager.switch()
+    for index in range(24):
+        vm.user_write(pager, MIX_BASE + index * page,
+                      bytes([round_no + 1]))
+    vm.reclaim_frames(8)
+
+    # editor: a couple of interactive touches.
+    editor.switch()
+    for index in range(4):
+        vm.user_write(editor, MIX_BASE + ((index + round_no) % 8) * page,
+                      bytes([index + 1]))
+
+    # make: stream the shared segment (cold pulls round one, re-faults
+    # after reclaim later) and scribble scratch output.  Runs last so
+    # its pull stalls sit inside the trailing PSI windows at frame time.
+    make.switch()
+    for index in range(MIX_SHARED_PAGES):
+        vm.user_read(make, MIX_BASE + 0x0100_0000 + index * page, 1)
+    for index in range(16):
+        vm.user_write(make, MIX_BASE + index * page, b"\x01")
+
+
+def format_top(vm, start_ms: float = 0.0) -> str:
+    """Render one frame: a PSI header plus the per-space table."""
+    board = vm.pressure
+    # Publishing refreshes the residency gauges the table reads.
+    vm.metrics_snapshot()
+    now = board.now()
+    elapsed = max(now - start_ms, 1e-9)
+    names: Dict[int, str] = {context.space: context.name
+                             for context in vm.contexts()}
+    lines = [
+        f"repro top — virtual {now - start_ms:.3f} ms, "
+        f"{len(board.accounts)} spaces",
+        "psi memory  some "
+        + " ".join(f"avg{int(window)}={board.some.avg(window, now):6.1%}"
+                   for window in (10.0, 60.0, 300.0))
+        + f"  total={board.some.total_ms:.3f}ms",
+        "            full "
+        + " ".join(f"avg{int(window)}={board.full.avg(window, now):6.1%}"
+                   for window in (10.0, 60.0, 300.0))
+        + f"  total={board.full.total_ms:.3f}ms",
+        "",
+        f"{'space':>5} {'name':<10} {'rss':>5} {'faults':>7} "
+        f"{'pull_kb':>8} {'push_kb':>8} {'wait':>5} {'ev_c':>5} "
+        f"{'ev_s':>5} {'io%':>6} {'stall%':>7}",
+    ]
+    accounts = sorted(board.accounts.values(),
+                      key=lambda acct: acct.stall.total_ms, reverse=True)
+    total_io = sum(acct.pull_bytes + acct.push_bytes
+                   for acct in accounts) or 1
+    for acct in accounts:
+        faults = acct.faults_read + acct.faults_write
+        io_share = (acct.pull_bytes + acct.push_bytes) / total_io
+        lines.append(
+            f"{acct.space:>5} {names.get(acct.space, '-')[:10]:<10} "
+            f"{acct.resident_pages:>5} {faults:>7} "
+            f"{acct.pull_bytes / KB:>8.1f} {acct.push_bytes / KB:>8.1f} "
+            f"{acct.inflight_waits:>5} {acct.evictions_caused:>5} "
+            f"{acct.evictions_suffered:>5} {io_share:>6.1%} "
+            f"{acct.stall.total_ms / elapsed:>7.1%}")
+    return "\n".join(lines)
+
+
+def run_top(once: bool = False, frames: int = MIX_ROUNDS,
+            interval: float = 0.0, io_threads: int = 2,
+            out=None) -> int:
+    """Drive the mix and print frames (the ``repro top`` entry point)."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    state = build_mix(io_threads=io_threads)
+    vm = state["vm"]
+    start_ms = state["clock"].now()
+    frame_texts: List[str] = []
+    rounds = max(1, frames)
+    for frame in range(rounds):
+        mix_round(state)
+        if not once:
+            frame_texts.append(f"-- frame {frame + 1}/{rounds} --")
+            frame_texts.append(format_top(vm, start_ms))
+            print("\n".join(frame_texts[-2:]), file=out, flush=True)
+            frame_texts.clear()
+            if interval > 0 and frame + 1 < rounds:
+                time.sleep(interval)
+    if once:
+        print(format_top(vm, start_ms), file=out)
+    io = getattr(vm, "io", None)
+    if io is not None:
+        io.flush()
+        io.close()
+    return 0

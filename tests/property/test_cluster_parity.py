@@ -50,11 +50,13 @@ def run(policy, sequence, advice):
     # the engine shaped the work (window sizes, pull spans, queued
     # requests) — clustering is allowed to change those; everything it
     # accounts for (charges, faults, pulls, hits/misses) must not move.
+    # space.inflight_wait is the per-space projection of
+    # engine.inflight.coalesced, so it rides the same exemption.
     counters = {
         key: value
         for key, value in vm.metrics_snapshot()["counters"].items()
         if not key.startswith(("engine.cluster.", "engine.inflight.",
-                               "io.queue."))
+                               "io.queue.", "space.inflight_wait"))
     }
     return vm.clock.now(), counters, data
 

@@ -198,6 +198,33 @@ class TestDetectsViolations:
         })
         assert check_layers(tmp_path) == []
 
+    def test_pressure_importing_cache_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "obs/pressure.py":
+                "from repro.cache.residency import ResidencyIndex\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.obs.pressure"
+        assert "primitives" in violations[0][2]
+
+    def test_pressure_importing_a_backend_fails(self, tmp_path):
+        # Rule 3 (obs off the backends) already covers this; rule 7
+        # adds the cache ban on top, it does not replace it.
+        _make_tree(tmp_path, {
+            "obs/pressure.py": "import repro.pvm.pvm\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_other_obs_modules_may_import_nothing_extra(self, tmp_path):
+        # The cache ban is specific to repro.obs.pressure: export and
+        # metrics keep rule 3 only.  (Today no obs module imports
+        # repro.cache; this pins that the rule is scoped, not global.)
+        _make_tree(tmp_path, {
+            "obs/pressure.py":
+                "from repro.obs.metrics import MetricsRegistry\n",
+        })
+        assert check_layers(tmp_path) == []
+
     def test_cli_reports_failure(self, tmp_path, capsys):
         _make_tree(tmp_path, {
             "minimal/sneaky.py": "import repro.hardware.bus\n",
