@@ -123,3 +123,44 @@ def derived_metrics(zero_fill: Grid, cow: Grid) -> Dict[str, float]:
         "create_destroy_size_dependence": size_dependence,
         "history_vs_zero_fill_ratio": cow_overhead / zero_fill_overhead,
     }
+
+
+def tenant_storm_ablation(backend: str = "pvm") -> Dict[str, Dict[str, float]]:
+    """The PR-9 pressure-arbiter ablation: the ``tenant_storm``
+    overcommit storm with the frame arbiter on and off.
+
+    Arbitrated, the balancer daemon re-splits a 960-frame budget by
+    measured working-set size each round, so aggregate residency never
+    reaches physical RAM and the thrasher's refaults are charged to the
+    thrasher; unarbitrated, the same storm runs until frame allocation
+    fails and global reclaim punishes every tenant alike.  Returns one
+    metrics row per variant (``arbitrated`` / ``unarbitrated``).
+    """
+    from repro.bench.harness import (
+        STORM_BUDGET, STORM_FLOOR, _tenant_storm_body, _tenant_storm_setup,
+    )
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for arbitrated in (False, True):
+        state = _tenant_storm_setup(backend, arbitrated=arbitrated)
+        with ClockRegion(state["clock"]) as timer:
+            _tenant_storm_body(state)
+        snapshot = state["vm"].metrics_snapshot()
+        gauges = snapshot["gauges"]
+        counters = snapshot["counters"]
+        grants = [value for key, value in gauges.items()
+                  if key.startswith("balancer.grant{")]
+        rows["arbitrated" if arbitrated else "unarbitrated"] = {
+            "virtual_ms": timer.elapsed,
+            "psi_full_avg10": gauges.get("psi.memory.full.avg10", 0.0),
+            "psi_full_avg300": gauges.get("psi.memory.full.avg300", 0.0),
+            "psi_full_total_ms": gauges.get("psi.memory.full.total_ms", 0.0),
+            "resident_peak_pages": float(state["resident_peak"]),
+            "resident_final_pages": float(len(state["vm"].residency)),
+            "refaults": float(gauges.get("ws.refaults", 0.0)),
+            "budget_pages": float(STORM_BUDGET) if arbitrated else 0.0,
+            "floor_pages": float(STORM_FLOOR) if arbitrated else 0.0,
+            "min_grant_pages": min(grants) if grants else 0.0,
+            "suspensions": float(counters.get("balancer.suspend", 0)),
+        }
+    return rows

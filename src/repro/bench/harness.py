@@ -60,7 +60,8 @@ SRC_BASE = 0x0200_0000
 BENCH_TLB_ENTRIES = 64
 
 
-def build_nucleus(backend: str, cluster=None, io_threads: int = 0):
+def build_nucleus(backend: str, cluster=None, io_threads: int = 0,
+                  arbiter=None):
     """A fresh Nucleus on SUN-3/60-calibrated hardware for *backend*
     (``pvm``, ``mach`` or ``minimal``).
 
@@ -69,7 +70,9 @@ def build_nucleus(backend: str, cluster=None, io_threads: int = 0):
     wall time and upcall counts but never virtual time.  *io_threads*
     sizes the manager's I/O scheduler pool (0 = the synchronous
     pass-through); charges land at submit time, so this knob too moves
-    wall time and queue counters but never virtual time.
+    wall time and queue counters but never virtual time.  *arbiter* is
+    a :class:`repro.pressure.FrameArbiter` for the manager's cache
+    engine (None = a fresh inert arbiter, the legacy behaviour).
     """
     from repro.mach.mach_vm import MachVirtualMemory
     from repro.minimal.minimal_vm import RealTimeVirtualMemory
@@ -84,7 +87,7 @@ def build_nucleus(backend: str, cluster=None, io_threads: int = 0):
     return Nucleus(vm_class=vm_class, cost_model=cost_model,
                    memory_size=SUN360_MEMORY, page_size=SUN360_PAGE,
                    tlb_entries=BENCH_TLB_ENTRIES, cluster_policy=cluster,
-                   io_threads=io_threads)
+                   io_threads=io_threads, arbiter=arbiter)
 
 
 @dataclass(frozen=True)
@@ -107,8 +110,9 @@ class Workload:
 # -- workload definitions -------------------------------------------------------
 
 def _nucleus_state(backend: str, cluster=None, io_threads: int = 0,
-                   **extra) -> dict:
-    nucleus = build_nucleus(backend, cluster=cluster, io_threads=io_threads)
+                   arbiter=None, **extra) -> dict:
+    nucleus = build_nucleus(backend, cluster=cluster, io_threads=io_threads,
+                            arbiter=arbiter)
     state = {"nucleus": nucleus, "vm": nucleus.vm, "clock": nucleus.clock}
     state.update(extra)
     return state
@@ -347,6 +351,70 @@ def _huge_map_body(state: dict) -> None:
     nucleus.rgn_free(actor, region)
 
 
+#: ``tenant_storm`` shape: 23 well-behaved tenants plus one thrasher
+#: overcommit the SUN-3/60's 1024 frames (23×32 + 400 = 1136 pages),
+#: and the arbitrated variant caps aggregate residency below physical
+#: RAM so every eviction is a *policy* decision, not an allocation
+#: failure.
+STORM_TENANTS = 24
+STORM_WS_PAGES = 32
+STORM_THRASHER_PAGES = 400
+STORM_ROUNDS = 3
+STORM_BUDGET = 960
+STORM_FLOOR = 8
+
+
+def _tenant_storm_setup(backend: str, cluster=None, io_threads: int = 0,
+                        arbitrated: bool = True) -> dict:
+    from repro.pressure import (
+        AdmissionController, BalancerDaemon, FrameArbiter,
+        WorkingSetEstimator,
+    )
+
+    arbiter = None
+    if arbitrated:
+        arbiter = FrameArbiter(
+            global_budget=STORM_BUDGET, floor_pages=STORM_FLOOR,
+            ws=WorkingSetEstimator(),
+            qos=AdmissionController(window_ms=10.0, fault_limit=64),
+        )
+    state = _nucleus_state(backend, cluster, io_threads, arbiter=arbiter)
+    nucleus, vm = state["nucleus"], state["vm"]
+    page_size = vm.page_size
+    tenants = []
+    for index in range(STORM_TENANTS):
+        actor = nucleus.create_actor(f"tenant-{index}")
+        pages = STORM_THRASHER_PAGES if index == 0 else STORM_WS_PAGES
+        nucleus.rgn_allocate(actor, pages * page_size, address=REGION_BASE)
+        tenants.append((actor, pages))
+    state["tenants"] = tenants
+    state["daemon"] = BalancerDaemon(vm) if arbitrated else None
+    state["resident_peak"] = 0
+    return state
+
+
+def _tenant_storm_body(state: dict) -> None:
+    # Multi-tenant overcommit: each round, every tenant re-touches its
+    # whole working set (tenant 0 streams a set far beyond any fair
+    # share) and the balancer daemon re-splits the frame budget by
+    # measured WSS, reclaiming over-grant spaces and throttling the
+    # thrasher.  Unarbitrated, the same storm falls back to
+    # allocation-failure reclaim against physical RAM.
+    vm = state["vm"]
+    page_size = vm.page_size
+    daemon = state["daemon"]
+    peak = 0
+    for round_no in range(STORM_ROUNDS):
+        for actor, pages in state["tenants"]:
+            for page_no in range(pages):
+                actor.write(REGION_BASE + page_no * page_size,
+                            bytes([round_no + 1]))
+            peak = max(peak, len(vm.residency))
+        if daemon is not None:
+            daemon.tick()
+    state["resident_peak"] = peak
+
+
 #: The named suite, in recording order.
 WORKLOADS: Dict[str, Workload] = {
     workload.name: workload for workload in (
@@ -389,6 +457,11 @@ WORKLOADS: Dict[str, Workload] = {
                  "map, sparsely touch and unmap a million-page "
                  "region (extent-representation stress)",
                  ("pvm", "mach"), _huge_map_setup, _huge_map_body),
+        Workload("tenant_storm",
+                 "24 overcommitted tenants (one thrasher) under the "
+                 "working-set balancer and frame arbiter",
+                 ("pvm", "mach"), _tenant_storm_setup,
+                 _tenant_storm_body),
     )
 }
 
@@ -580,12 +653,16 @@ def compare(baseline: dict, current: dict, threshold: float = 1.5) -> dict:
         else:
             ratio = float("inf") if cell["wall_ms"] > 0 else 1.0
         regressed = ratio > threshold
+        base_virtual = base.get("virtual_ms")
+        cell_virtual = cell.get("virtual_ms")
         row = {"workload": key[0], "backend": key[1],
                "status": "regressed" if regressed else "ok",
                "wall_ms": cell["wall_ms"],
                "baseline_wall_ms": base["wall_ms"],
                "wall_ratio": ratio,
-               "virtual_drift_ms": cell["virtual_ms"] - base["virtual_ms"],
+               "virtual_drift_ms":
+                   None if base_virtual is None or cell_virtual is None
+                   else cell_virtual - base_virtual,
                "baseline_tlb_hit_rate": _tlb_hit_rate(base),
                "tlb_hit_rate": _tlb_hit_rate(cell),
                "baseline_stall_fraction": _stall_fraction(base),

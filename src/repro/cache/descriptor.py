@@ -20,6 +20,7 @@ class RealPageDescriptor:
     __slots__ = (
         "cache", "offset", "frame", "dirty", "pin_count",
         "mappings", "cow_stubs", "referenced", "write_granted",
+        "charged_space",
     )
 
     def __init__(self, cache, offset: int, frame: int,
@@ -39,6 +40,9 @@ class RealPageDescriptor:
         self.cow_stubs: Set = set()
         #: reference bit for the clock replacement algorithm.
         self.referenced = True
+        #: address space this page's residency is charged to under an
+        #: active frame arbiter (None when unattributed or inert).
+        self.charged_space = None
 
     @property
     def pinned(self) -> bool:

@@ -36,23 +36,38 @@ from repro.cache.descriptor import RealPageDescriptor
 from repro.cache.eviction import EvictionPolicy, SecondChancePolicy
 from repro.cache.residency import ResidencyIndex
 from repro.kernel.clock import CostEvent
+from repro.pressure import FrameArbiter
 
 
 class CacheEngine:
     """Residency, eviction and mapper I/O for one memory manager."""
 
-    def __init__(self, vm, policy: Optional[EvictionPolicy] = None):
+    def __init__(self, vm, policy: Optional[EvictionPolicy] = None,
+                 arbiter: Optional[FrameArbiter] = None):
         self.vm = vm
         # NB: `policy or default` would be wrong — an empty policy has
         # len() == 0 and is falsy.
         self.residency = ResidencyIndex(
             SecondChancePolicy() if policy is None else policy,
             page_size=vm.page_size)
-        #: Optional hard residency budget (pages).  When set, inserting
-        #: past the budget triggers an immediate reclaim; pinned pages
-        #: can still push residency above it (they are unevictable).
-        self.budget: Optional[int] = None
+        #: The frame arbiter: owner of the global residency budget and
+        #: the per-space grants.  An arbiter without a budget is inert
+        #: — the default — and the legacy ``budget`` attribute is a
+        #: view onto ``arbiter.global_budget``.
+        self.arbiter = FrameArbiter() if arbiter is None else arbiter
         self._reclaiming = False
+
+    @property
+    def budget(self) -> Optional[int]:
+        """The global residency budget (pages), owned by the arbiter.
+        When set, inserting past the budget triggers an immediate
+        reclaim; pinned pages can still push residency above it (they
+        are unevictable)."""
+        return self.arbiter.global_budget
+
+    @budget.setter
+    def budget(self, pages: Optional[int]) -> None:
+        self.arbiter.global_budget = pages
 
     # -- policy ------------------------------------------------------------------
 
@@ -69,21 +84,35 @@ class CacheEngine:
 
     def insert(self, page: RealPageDescriptor) -> None:
         """A page became resident (the single entry point for all
-        backends); enforces the residency budget when one is set.
+        backends); runs the arbiter's grant check when one is active.
 
-        The page being inserted is never its own budget victim — the
-        fault path is about to use it, and evicting it would re-fault
-        and re-insert in a loop when everything else is pinned.
+        The page is charged to the space being served (the pressure
+        board's attribution stack) and the insert trips a reclaim only
+        when the *global* budget overshoots — per-space over-grant is
+        the balancer daemon's business, off the fault path.  The page
+        being inserted is never its own victim — the fault path is
+        about to use it, and evicting it would re-fault and re-insert
+        in a loop when everything else is pinned.
         """
         self.residency.insert(page)
-        if self.budget is not None and not self._reclaiming:
-            excess = len(self.residency) - self.budget
-            if excess > 0:
-                self.reclaim(excess, exclude=page)
+        arbiter = self.arbiter
+        if arbiter.active:
+            board = getattr(self.vm, "pressure", None)
+            space = board.current_space() if board is not None else None
+            page.charged_space = space
+            arbiter.charge(space)
+            if not self._reclaiming:
+                excess = arbiter.overshoot(len(self.residency))
+                if excess > 0:
+                    self.reclaim(excess, exclude=page)
 
     def forget(self, page: RealPageDescriptor) -> None:
         """A page left residency (evicted, surrendered, destroyed)."""
         self.residency.remove(page)
+        arbiter = self.arbiter
+        if arbiter.active:
+            arbiter.release(page.charged_space)
+            page.charged_space = None
 
     # -- mapper I/O --------------------------------------------------------------
 
@@ -118,6 +147,13 @@ class CacheEngine:
             probe.count("cache.miss", pages, segment=cache.name)
             if board is not None:
                 board.pulled(pages)
+            arbiter = self.arbiter
+            if arbiter.active:
+                # Pages returning after an eviction are refaults — the
+                # thrashing signal the balancer and estimator read.
+                arbiter.note_pull(cache.cache_id, offset, pages, page_size,
+                                  board.current_space()
+                                  if board is not None else None)
             with probe.span("cache.pull_in") as span:
                 if span:
                     span.set(cache=cache.name, offset=offset,
@@ -208,12 +244,21 @@ class CacheEngine:
     # -- eviction ----------------------------------------------------------------
 
     def reclaim(self, target: int,
-                exclude: Optional[RealPageDescriptor] = None) -> int:
+                exclude: Optional[RealPageDescriptor] = None,
+                from_spaces=None) -> int:
         """Evict up to *target* pages; return how many frames freed.
 
         *exclude* (the page whose insertion tripped the budget, if
-        any) is never selected."""
+        any) is never selected.  *from_spaces* restricts victims to
+        pages charged to those spaces — the balancer's targeted
+        shrink; untargeted reclaim under an arbiter in QoS mode skips
+        pages of spaces at or below their floor (the no-starvation
+        guarantee), and is the unchanged legacy scan otherwise."""
         vm = self.vm
+        arbiter = self.arbiter
+        guard_floors = (from_spaces is None and arbiter.active
+                        and arbiter.protects_floors)
+        taken: dict = {}
         victims: List[RealPageDescriptor] = []
         self._reclaiming = True
         try:
@@ -233,6 +278,17 @@ class CacheEngine:
                     seen.add(id(page))
                     if page is exclude:
                         continue
+                    space = page.charged_space
+                    if from_spaces is not None:
+                        if space not in from_spaces:
+                            continue
+                    elif guard_floors and space is not None:
+                        held = (arbiter.charged_of(space)
+                                - taken.get(space, 0))
+                        if held <= arbiter.floor_pages:
+                            continue
+                    if space is not None:
+                        taken[space] = taken.get(space, 0) + 1
                     victims.append(page)
                 dirty = [page for page in victims if page.dirty]
                 if dirty:
@@ -248,6 +304,10 @@ class CacheEngine:
                         # by every space that had the frame mapped.
                         board.eviction({space for space, _
                                         in page.mappings})
+                    if arbiter.active:
+                        arbiter.note_evicted(page.cache.cache_id,
+                                             page.offset,
+                                             page.charged_space)
                     vm.discard_page(page)
                 if span:
                     span.set(target=target, freed=len(victims))

@@ -19,6 +19,7 @@ Every stage is wired through the observability probe: an
 trace span when a sink is attached.
 """
 
+from repro.engine.admission import AdmissionGate
 from repro.engine.cluster import (
     AdaptiveWindow, ClusterIndex, ClusterPolicy, FixedWindow, NoCluster,
     PrefaultEntry, make_policy, split_uniform,
@@ -34,6 +35,7 @@ from repro.engine.task import FaultTask
 
 __all__ = [
     "AdaptiveWindow",
+    "AdmissionGate",
     "ClusterIndex",
     "ClusterPolicy",
     "DEMAND",

@@ -1,0 +1,44 @@
+"""The fault admission gate: where throttling meets the fault path.
+
+The admission *policy* (windowed limits, thrash backoff) lives in the
+pressure-policy layer and never touches a clock; the *mechanics* of
+imposing a delay belong with the fault engine.  The gate sits at fault
+dispatch: it asks the policy what this fault must pay, advances the
+virtual clock by that much (the delay is simulated waiting, priced
+like any other latency) and records the event — a ``throttle.delayed``
+counter plus a zero-duration stall note on the pressure board, so the
+throttle shows up in ``psi.stall.count{kind=throttle}`` without
+polluting the memory-stall windows (a throttled task is *parked*, not
+stalled on memory).
+
+Collaborators are duck-typed (``policy.penalty``, ``clock.advance``,
+``board.note_stall``, ``probe.count``) — the engine stays free of
+backend, hardware and policy-package imports alike.
+"""
+
+from __future__ import annotations
+
+
+class AdmissionGate:
+    """Charges fault-admission delays on the virtual clock."""
+
+    def __init__(self, policy, clock, board=None, probe=None):
+        self.policy = policy
+        self.clock = clock
+        self.board = board
+        self.probe = probe
+
+    def admit(self, space: int) -> float:
+        """Admit one fault for *space*; returns the delay charged."""
+        clock = self.clock
+        delay = self.policy.penalty(space, clock.now())
+        if delay > 0.0:
+            if self.board is not None:
+                self.board.note_stall("throttle")
+            if self.probe is not None:
+                self.probe.count("throttle.delays")
+            clock.advance(delay)
+        return delay
+
+    def __repr__(self) -> str:
+        return f"AdmissionGate({self.policy!r})"

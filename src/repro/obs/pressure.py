@@ -310,12 +310,13 @@ class PressureBoard:
     def begin_task(self, space: int) -> None:
         """A fault (or other attributable work) for *space* begins.
 
-        No-op while the registry is paused, so the bench harness's
-        timed repeats pay one attribute check per fault; ``end_task``
-        tolerates the resulting empty stack.
+        Unlike the recording verbs, attribution is *not* gated on the
+        registry: the frame arbiter charges residency per space even
+        while metrics are paused (the bench harness's timed repeats
+        must exercise the same grant accounting the instrumented pass
+        does).  The cost is one list append per fault.
         """
-        if self.registry.enabled:
-            self._tasks.append(space)
+        self._tasks.append(space)
 
     def end_task(self) -> None:
         """The innermost attributable task finished."""

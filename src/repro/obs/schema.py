@@ -60,6 +60,8 @@ SNAPSHOT_SCHEMA = {
                 r"^engine\.inflight\.": {"type": "integer", "minimum": 0},
                 r"^io\.queue\.": {"type": "integer", "minimum": 0},
                 r"^space\.": {"type": "integer", "minimum": 0},
+                r"^balancer\.": {"type": "integer", "minimum": 0},
+                r"^throttle\.": {"type": "integer", "minimum": 0},
             },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },
@@ -74,6 +76,9 @@ SNAPSHOT_SCHEMA = {
                 },
                 r"^psi\.": {"type": "number", "minimum": 0},
                 r"^space\.": {"type": "number", "minimum": 0},
+                r"^balancer\.": {"type": "number", "minimum": 0},
+                r"^ws\.": {"type": "number", "minimum": 0},
+                r"^throttle\.": {"type": "number", "minimum": 0},
             },
             "additionalProperties": {"type": "number"},
         },

@@ -1,0 +1,37 @@
+"""The memory-pressure *policy* layer: arbiter, working sets, balancer.
+
+The pressure observatory (:mod:`repro.obs.pressure`) measures — per
+space ledgers and PSI stall windows, never acting on what it sees.
+This package is the layer that *acts*:
+
+* :class:`FrameArbiter` — owns the global frame budget and the
+  per-space residency grants.  The cache engine asks it, on every
+  insert and forget, whether residency overshot; scattered per-cache
+  ``budget`` enforcement collapsed into this one object;
+* :class:`WorkingSetEstimator` — per-space working-set size over a
+  virtual-time sliding window, fed by the fault/refault ledgers;
+* :class:`BalancerDaemon` — a virtual-time scheduled daemon (driven
+  by ``tick()``, like the writeback daemon) that redistributes grants
+  under pressure: shrink over-WSS spaces first, never below the floor;
+* :class:`AdmissionController` — windowed per-space fault admission
+  and exponential-backoff suspension of the worst-thrashing space.
+
+Layering (``check_layers`` rule 8): this package imports no backends,
+no hardware and no cache subsystem — policy speaks in primitives
+(space ids, page counts, cache-id/offset pairs) and is wired to the
+mechanism through duck-typed collaborators, exactly like the board it
+reads.  Everything here is inert by default: an arbiter with no
+``global_budget`` keeps every legacy code path bit-identical.
+"""
+
+from repro.pressure.arbiter import FrameArbiter
+from repro.pressure.balancer import BalancerDaemon
+from repro.pressure.throttle import AdmissionController
+from repro.pressure.workingset import WorkingSetEstimator
+
+__all__ = [
+    "AdmissionController",
+    "BalancerDaemon",
+    "FrameArbiter",
+    "WorkingSetEstimator",
+]

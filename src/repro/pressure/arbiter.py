@@ -1,0 +1,244 @@
+"""The frame arbiter: one owner for the global residency budget.
+
+Before this layer existed, residency control was a per-cache-engine
+``budget`` attribute checked inline on every insert.  The arbiter
+keeps that exact enforcement (the budget check is one subtraction) but
+owns it globally, and adds what a balancer needs on top:
+
+* per-space **charge accounting** — every page that becomes resident
+  is charged to the address space being served at insert time, so the
+  arbiter always knows who holds how many frames;
+* per-space **residency grants** — the balancer's output.  A grant is
+  an entitlement, not a reservation: a space may run below its grant,
+  and the balancer reclaims it back toward the grant when it runs
+  above.  Newborn spaces are adopted at the configurable floor, funded
+  by skimming the largest existing grants, so ``sum(grants) <=
+  global_budget`` holds continuously (whenever the budget covers the
+  floors at all);
+* **refault memory** — a bounded map of recently evicted (cache id,
+  offset) pairs.  A pull that hits the map is a refault: the clearest
+  thrashing signal there is, and the working-set estimator's input.
+
+Determinism contract: an arbiter without a ``global_budget`` is
+*inert* — ``active`` is False and the cache engine skips every verb
+here, so default configurations stay bit-identical (the Table 6/7 and
+BENCH vdrift gates).  An active arbiter only ever acts through the
+engine's existing reclaim path; it never touches the virtual clock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.obs.metrics import series_name
+
+#: Default minimum residency entitlement per live space (pages).
+DEFAULT_FLOOR_PAGES = 4
+
+#: Default bound on the recently-evicted refault memory (pages).
+DEFAULT_REFAULT_HORIZON = 4096
+
+
+class FrameArbiter:
+    """Global frame budget, per-space grants, refault memory.
+
+    Parameters
+    ----------
+    global_budget:
+        Total resident pages allowed across all caches.  ``None``
+        (default) keeps the arbiter inert.  Pinned pages can still push
+        residency above it — they are unevictable.
+    floor_pages:
+        No live space's grant is ever set below this.
+    ws:
+        Optional :class:`~repro.pressure.workingset.WorkingSetEstimator`.
+        Attaching one switches the arbiter into QoS mode: global
+        reclaim then refuses to take a space below its floor.
+    qos:
+        Optional :class:`~repro.pressure.throttle.AdmissionController`
+        consulted by the engine-side admission gate on every fault.
+    refault_horizon:
+        Evicted (cache, offset) pairs remembered for refault detection.
+    """
+
+    def __init__(self, global_budget: Optional[int] = None,
+                 floor_pages: int = DEFAULT_FLOOR_PAGES,
+                 ws=None, qos=None,
+                 refault_horizon: int = DEFAULT_REFAULT_HORIZON):
+        self.global_budget = global_budget
+        self.floor_pages = floor_pages
+        self.ws = ws
+        self.qos = qos
+        self.refault_horizon = refault_horizon
+        #: resident pages charged per space (``None`` = unattributed:
+        #: pages inserted outside any fault, or orphaned by an exit).
+        self.charged: Dict[Optional[int], int] = {}
+        #: the balancer's output: residency entitlement per live space.
+        self.grants: Dict[int, int] = {}
+        #: cumulative refaults per space (pulled back after eviction).
+        self.refaults: Dict[int, int] = {}
+        self.total_refaults = 0
+        #: recently evicted pages: (cache_id, offset) -> evicted count
+        #: ordinal (insertion-ordered, bounded by *refault_horizon*).
+        self._evicted: "OrderedDict[tuple, bool]" = OrderedDict()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True when a global budget is set (the arbiter acts at all)."""
+        return self.global_budget is not None
+
+    @property
+    def protects_floors(self) -> bool:
+        """True in QoS mode: untargeted reclaim must leave every
+        attributed space its floor.  Plain budget mode (no estimator)
+        keeps the legacy victim order untouched."""
+        return self.ws is not None
+
+    def overshoot(self, resident_total: int) -> int:
+        """Pages over the global budget (0 means none)."""
+        budget = self.global_budget
+        if budget is None or resident_total <= budget:
+            return 0
+        return resident_total - budget
+
+    def grant_of(self, space: int) -> int:
+        """The space's residency entitlement (the floor until the
+        balancer has spoken)."""
+        grant = self.grants.get(space)
+        return self.floor_pages if grant is None else grant
+
+    def charged_of(self, space: Optional[int]) -> int:
+        """Resident pages currently charged to *space*."""
+        return self.charged.get(space, 0)
+
+    # -- charge accounting (cache-engine verbs) ------------------------------
+
+    def charge(self, space: Optional[int]) -> None:
+        """One page became resident on behalf of *space*."""
+        self.charged[space] = self.charged.get(space, 0) + 1
+        if space is not None and space not in self.grants:
+            self.adopt(space)
+
+    def release(self, space: Optional[int]) -> None:
+        """One page charged to *space* left residency.
+
+        A page can outlive its space (shared frames, caches destroyed
+        after the context): its charge was orphaned to the
+        unattributed bucket by :meth:`drop_space`, so an eviction
+        carrying the stale space id drains that bucket instead."""
+        held = self.charged.get(space, 0)
+        if held == 0 and space is not None:
+            space = None
+            held = self.charged.get(None, 0)
+        if held > 1:
+            self.charged[space] = held - 1
+        elif held:
+            del self.charged[space]
+
+    def adopt(self, space: int) -> None:
+        """Fund a newborn space at the floor.
+
+        The floor pages are skimmed one at a time from the largest
+        grants above their own floor (deterministic: largest first,
+        lowest space id on ties), so ``sum(grants)`` never grows past
+        the budget.  When the budget cannot cover every live floor the
+        floors win — the starvation guarantee outranks the cap.
+        """
+        if not self.active or space in self.grants:
+            return
+        self.grants[space] = self.floor_pages
+        over = sum(self.grants.values()) - self.global_budget
+        while over > 0:
+            donor = None
+            largest = self.floor_pages
+            for candidate, grant in self.grants.items():
+                if candidate == space:
+                    continue
+                if grant > largest or (grant == largest and donor is not None
+                                       and candidate < donor
+                                       and grant > self.floor_pages):
+                    donor = candidate
+                    largest = grant
+            if donor is None:
+                break
+            self.grants[donor] -= 1
+            over -= 1
+
+    def drop_space(self, space: int) -> None:
+        """A space was destroyed: return its grant to the pool and
+        move any pages still charged to it (shared frames outlive the
+        space) to the unattributed bucket."""
+        self.grants.pop(space, None)
+        self.refaults.pop(space, None)
+        orphaned = self.charged.pop(space, 0)
+        if orphaned:
+            self.charged[None] = self.charged.get(None, 0) + orphaned
+        if self.ws is not None:
+            self.ws.drop_space(space)
+        if self.qos is not None:
+            self.qos.drop_space(space)
+
+    # -- refault memory ------------------------------------------------------
+
+    def note_evicted(self, cache_id: int, offset: int,
+                     space: Optional[int]) -> None:
+        """Remember an evicted page so its return registers as a
+        refault (bounded FIFO memory)."""
+        evicted = self._evicted
+        key = (cache_id, offset)
+        if key in evicted:
+            evicted.move_to_end(key)
+        else:
+            evicted[key] = True
+            while len(evicted) > self.refault_horizon:
+                evicted.popitem(last=False)
+
+    def note_pull(self, cache_id: int, offset: int, pages: int,
+                  page_size: int, space: Optional[int]) -> int:
+        """A pull of *pages* starting at *offset*: count how many of
+        them are refaults, charged to the pulling space."""
+        evicted = self._evicted
+        if not evicted:
+            return 0
+        hits = 0
+        for index in range(pages):
+            if evicted.pop((cache_id, offset + index * page_size),
+                           None) is not None:
+                hits += 1
+        if hits:
+            self.total_refaults += hits
+            if space is not None:
+                self.refaults[space] = self.refaults.get(space, 0) + hits
+        return hits
+
+    # -- publication ---------------------------------------------------------
+
+    def publish(self, registry) -> None:
+        """Write the ``balancer.*`` / ``ws.*`` / ``throttle.*`` gauges
+        (snapshot time only — grants and estimates are policy state,
+        not mechanism counters the determinism suites compare)."""
+        if not self.active or not registry.enabled:
+            return
+        registry.set_gauge("balancer.budget", float(self.global_budget))
+        registry.set_gauge("balancer.floor", float(self.floor_pages))
+        registry.set_gauge("ws.refaults", float(self.total_refaults))
+        for space, grant in self.grants.items():
+            label = {"space": space}
+            registry.set_gauge(series_name("balancer.grant", label),
+                               float(grant))
+            registry.set_gauge(series_name("balancer.charged", label),
+                               float(self.charged.get(space, 0)))
+            if self.ws is not None:
+                registry.set_gauge(series_name("ws.estimate", label),
+                                   float(self.ws.wss(space)))
+        if self.qos is not None:
+            self.qos.publish(registry)
+
+    def __repr__(self) -> str:
+        budget = ("inert" if self.global_budget is None
+                  else f"budget={self.global_budget}")
+        return (f"FrameArbiter({budget}, {len(self.grants)} grants, "
+                f"{self.total_refaults} refaults)")

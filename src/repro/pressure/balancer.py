@@ -1,0 +1,184 @@
+"""The balancer daemon: redistribute residency grants under pressure.
+
+Driven explicitly (``tick()``) like the writeback daemon — no hidden
+concurrency, so runs stay deterministic.  One tick:
+
+1. **observe** — sample every live space into the working-set
+   estimator: pages charged (the arbiter's ledger), cumulative faults
+   (the pressure board's ledger) and refaults (the arbiter's refault
+   memory);
+2. **grant** — recompute residency grants.  Demand is the WSS high
+   watermark clamped to the floor; while total demand fits the budget
+   every space gets its demand, otherwise the surplus over the floors
+   is split proportionally to demand (largest-remainder rounding, so
+   grants are integers, deterministic, and sum to at most the
+   budget).  Dead spaces lose their grants;
+3. **enforce** — spaces holding more than their grant are shrunk
+   through the cache engine's targeted reclaim, most-over-WSS first;
+   any residue over the global budget (unattributed pages, freshly
+   orphaned spaces) is reclaimed untargeted.  Eviction work thereby
+   runs here, on the daemon's schedule, instead of inside the next
+   faulting task — the observatory's psi.memory windows are what show
+   the difference;
+4. **thrash control** — when the global ``psi.memory.full`` average
+   and a space's refault rate both sit over their thresholds, the
+   worst-thrashing space's fault admission is suspended with
+   exponential backoff (at most one new suspension per tick); spaces
+   whose refault storm subsided are resumed and their backoff reset.
+
+The daemon is duck-typed over the manager (``clock`` / ``lock`` /
+``contexts`` / ``cache_engine`` / ``pressure`` / ``probe``), so any
+backend — or a bare test harness — can host one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Default psi.memory.full fraction over which thrash control engages.
+DEFAULT_FULL_THRESHOLD = 0.05
+
+#: Default windowed refaults marking a space as thrashing.
+DEFAULT_REFAULT_THRESHOLD = 8
+
+#: The psi window the thrash detector reads (the short PSI window).
+PSI_WINDOW_MS = 10.0
+
+
+class BalancerDaemon:
+    """Working-set balancer over one manager's frame arbiter."""
+
+    def __init__(self, vm, full_threshold: float = DEFAULT_FULL_THRESHOLD,
+                 refault_threshold: int = DEFAULT_REFAULT_THRESHOLD):
+        self.vm = vm
+        self.full_threshold = full_threshold
+        self.refault_threshold = refault_threshold
+        self.ticks = 0
+        self.reclaimed = 0
+
+    def tick(self) -> dict:
+        """One balance pass; returns a summary of what it did."""
+        vm = self.vm
+        engine = vm.cache_engine
+        arbiter = engine.arbiter
+        if not arbiter.active:
+            return {"active": False}
+        board = vm.pressure
+        ws = arbiter.ws
+        now = vm.clock.now()
+        with vm.lock:
+            live = sorted(context.space for context in vm.contexts())
+            if ws is not None:
+                for space in live:
+                    acct = board.accounts.get(space)
+                    faults = 0 if acct is None else (acct.faults_read
+                                                     + acct.faults_write)
+                    ws.observe(space, now, arbiter.charged_of(space),
+                               faults, arbiter.refaults.get(space, 0))
+            grants = self._compute_grants(arbiter, ws, live)
+            arbiter.grants.clear()
+            arbiter.grants.update(grants)
+            freed = self._enforce(engine, arbiter, grants, ws, live)
+            suspended = self._thrash_control(arbiter, board, ws, live, now)
+        self.ticks += 1
+        self.reclaimed += freed
+        probe = getattr(vm, "probe", None)
+        if probe is not None:
+            probe.count("balancer.tick")
+            if freed:
+                probe.count("balancer.reclaimed", freed)
+            if suspended is not None:
+                probe.count("balancer.suspend")
+        return {"active": True, "grants": grants, "freed": freed,
+                "suspended": suspended}
+
+    # -- grant computation ---------------------------------------------------
+
+    @staticmethod
+    def _compute_grants(arbiter, ws, live: List[int]) -> Dict[int, int]:
+        floor = arbiter.floor_pages
+        budget = arbiter.global_budget
+        if not live:
+            return {}
+        demands: Dict[int, int] = {}
+        for space in live:
+            if ws is None:
+                # No estimator: demand is what the space holds today.
+                demand = arbiter.charged_of(space)
+            else:
+                demand = ws.high(space)
+            demands[space] = max(floor, demand)
+        total = sum(demands.values())
+        if total <= budget:
+            return dict(demands)
+        surplus = budget - floor * len(live)
+        grants = {space: floor for space in live}
+        if surplus <= 0:
+            # The budget cannot cover every floor: floors win (the
+            # starvation guarantee outranks the cap).
+            return grants
+        # Split the surplus proportionally to demand over the floor,
+        # largest-remainder rounding (deterministic, sums exactly).
+        weights = {space: demands[space] - floor for space in live}
+        weight_total = sum(weights.values()) or 1
+        shares: List[Tuple[float, int]] = []
+        allocated = 0
+        for space in live:
+            exact = surplus * weights[space] / weight_total
+            base = int(exact)
+            grants[space] += base
+            allocated += base
+            shares.append((-(exact - base), space))
+        shares.sort()
+        for _, space in shares[:surplus - allocated]:
+            grants[space] += 1
+        return grants
+
+    # -- enforcement ---------------------------------------------------------
+
+    @staticmethod
+    def _enforce(engine, arbiter, grants: Dict[int, int], ws,
+                 live: List[int]) -> int:
+        over: List[Tuple[int, int, int]] = []
+        for space in live:
+            charged = arbiter.charged_of(space)
+            excess = charged - grants[space]
+            if excess > 0:
+                wss_over = charged if ws is None else charged - ws.high(space)
+                over.append((-wss_over, space, excess))
+        over.sort()
+        freed = 0
+        for _, space, excess in over:
+            freed += engine.reclaim(excess, from_spaces={space})
+        residue = arbiter.overshoot(len(engine.residency))
+        if residue > 0:
+            freed += engine.reclaim(residue)
+        return freed
+
+    # -- thrash control ------------------------------------------------------
+
+    def _thrash_control(self, arbiter, board, ws, live: List[int],
+                        now: float) -> Optional[int]:
+        qos = arbiter.qos
+        if qos is None or ws is None:
+            return None
+        # Resume spaces whose refault storm subsided.
+        for space in live:
+            if ws.refault_rate(space) == 0 and not qos.suspended(space, now):
+                qos.resume(space)
+        if board.full.avg(PSI_WINDOW_MS, now) < self.full_threshold:
+            return None
+        worst = None
+        worst_rate = self.refault_threshold - 1
+        for space in live:
+            rate = ws.refault_rate(space)
+            if rate > worst_rate:
+                worst = space
+                worst_rate = rate
+        if worst is not None:
+            qos.suspend(worst, now)
+        return worst
+
+    def __repr__(self) -> str:
+        return (f"BalancerDaemon({self.ticks} ticks, "
+                f"{self.reclaimed} reclaimed)")

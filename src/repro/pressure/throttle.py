@@ -1,0 +1,155 @@
+"""Fault admission control: windowed rate limits and thrash backoff.
+
+Two QoS mechanisms share this controller, both priced purely in
+virtual time so runs stay deterministic:
+
+* **windowed admission** — each space may resolve at most
+  ``fault_limit`` faults per trailing ``window_ms`` of virtual time.
+  A fault past the limit is delayed until the oldest fault in the
+  window retires (the classic sliding-window rate limiter), so a
+  tenant's fault *rate* is shaped without ever refusing service;
+* **thrash suspension** — when the balancer detects thrashing it
+  suspends the worst offender: the space's next fault pays the
+  remaining suspension as a delay.  Repeated suspensions back off
+  exponentially (doubling up to ``backoff_limit_ms``), the textbook
+  response to a space whose working set simply does not fit; a
+  ``resume`` resets the backoff once the refault storm subsides.
+
+The controller never touches a clock itself — it answers ``penalty``
+in milliseconds and the engine-side admission gate advances the
+virtual clock and brackets the accounting.  Everything is keyed by
+space id (primitives only, per the pressure-policy layer rule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.obs.metrics import series_name
+
+#: Default admission window (virtual milliseconds).
+DEFAULT_WINDOW_MS = 10.0
+
+#: Default first suspension length; doubles per repeat.
+DEFAULT_BACKOFF_MS = 0.5
+
+#: Default exponential-backoff ceiling.
+DEFAULT_BACKOFF_LIMIT_MS = 8.0
+
+
+class AdmissionController:
+    """Per-space windowed fault admission plus suspension backoff."""
+
+    def __init__(self, window_ms: float = DEFAULT_WINDOW_MS,
+                 fault_limit: Optional[int] = None,
+                 backoff_ms: float = DEFAULT_BACKOFF_MS,
+                 backoff_limit_ms: float = DEFAULT_BACKOFF_LIMIT_MS):
+        self.window_ms = window_ms
+        #: faults admitted per space per window; None = unlimited
+        #: (suspension backoff still applies).
+        self.fault_limit = fault_limit
+        self.backoff_ms = backoff_ms
+        self.backoff_limit_ms = backoff_limit_ms
+        #: admission timestamps per space (pruned past the window).
+        self._events: Dict[int, Deque[float]] = {}
+        #: active suspensions: space -> virtual time it lifts.
+        self._suspended_until: Dict[int, float] = {}
+        #: last suspension length per space (the backoff state).
+        self._backoff: Dict[int, float] = {}
+        self.suspensions = 0
+        self.delayed = 0
+        self.delay_ms_total = 0.0
+
+    # -- balancer verbs ------------------------------------------------------
+
+    def suspend(self, space: int, now: float) -> float:
+        """Suspend *space*'s fault admission; returns when it lifts.
+
+        Each suspension doubles the previous one (capped), whether or
+        not the previous one has lifted — a still-thrashing space
+        escalates."""
+        backoff = self._backoff.get(space, 0.0) * 2.0 or self.backoff_ms
+        if backoff > self.backoff_limit_ms:
+            backoff = self.backoff_limit_ms
+        self._backoff[space] = backoff
+        until = now + backoff
+        self._suspended_until[space] = until
+        self.suspensions += 1
+        return until
+
+    def resume(self, space: int) -> None:
+        """Lift a suspension and reset the space's backoff."""
+        self._suspended_until.pop(space, None)
+        self._backoff.pop(space, None)
+
+    def suspended(self, space: int, now: float) -> bool:
+        """True while *space*'s admission is suspended at *now*."""
+        until = self._suspended_until.get(space)
+        return until is not None and now < until
+
+    # -- the gate's verb -----------------------------------------------------
+
+    def penalty(self, space: int, now: float) -> float:
+        """Delay (virtual ms) this fault must pay before admission.
+
+        Suspension first: a fault during suspension waits it out.
+        Then the window: past ``fault_limit`` the fault waits for the
+        oldest admission to leave the window.  The admission itself is
+        recorded at ``now + delay`` — where the fault actually runs.
+        """
+        delay = 0.0
+        until = self._suspended_until.get(space)
+        if until is not None:
+            if now < until:
+                delay = until - now
+            else:
+                # Expired: admission resumes, backoff state remains
+                # until the balancer sees calm and calls resume().
+                del self._suspended_until[space]
+        if self.fault_limit is not None:
+            events = self._events.get(space)
+            if events is None:
+                events = self._events[space] = deque()
+            horizon = now + delay - self.window_ms
+            while events and events[0] <= horizon:
+                events.popleft()
+            if len(events) >= self.fault_limit:
+                lift = events[0] + self.window_ms - now
+                if lift > delay:
+                    delay = lift
+            events.append(now + delay)
+        if delay > 0.0:
+            self.delayed += 1
+            self.delay_ms_total += delay
+        return delay
+
+    def backoff_of(self, space: int) -> float:
+        """The space's current suspension backoff (0.0 when calm)."""
+        return self._backoff.get(space, 0.0)
+
+    def drop_space(self, space: int) -> None:
+        """Forget a destroyed space's admission state."""
+        self._events.pop(space, None)
+        self._suspended_until.pop(space, None)
+        self._backoff.pop(space, None)
+
+    # -- publication ---------------------------------------------------------
+
+    def publish(self, registry) -> None:
+        """Write the ``throttle.*`` snapshot-time gauges."""
+        if not registry.enabled:
+            return
+        registry.set_gauge("throttle.suspensions", float(self.suspensions))
+        registry.set_gauge("throttle.delayed", float(self.delayed))
+        registry.set_gauge("throttle.delay_ms", self.delay_ms_total)
+        registry.set_gauge("throttle.suspended",
+                           float(len(self._suspended_until)))
+        for space, backoff in self._backoff.items():
+            registry.set_gauge(series_name("throttle.backoff_ms",
+                                           {"space": space}), backoff)
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController({len(self._suspended_until)} "
+                f"suspended, {self.delayed} delayed, "
+                f"{self.delay_ms_total:.3f}ms)")

@@ -1,0 +1,103 @@
+"""Per-space working-set estimation over a virtual-time window.
+
+The classic working-set model asks "how many distinct pages did this
+space touch in the last tau?"; tracking that exactly would mean a
+per-page timestamp on the hot fault path.  This estimator uses the
+signals the ledgers already carry, sampled by the balancer at tick
+time:
+
+* **resident** — pages currently charged to the space (what it holds);
+* **refaults** — pages it needed inside the window but had lost.
+
+The working-set size is estimated as ``resident + refaults-in-window``:
+what the space holds plus what it demonstrably missed.  A space whose
+grant fits its working set refaults nothing and its estimate settles
+at its residency; an over-squeezed space refaults, and the estimate
+grows until the balancer feeds it.  High/low watermarks are slack
+factors around the estimate — the balancer grows grants toward the
+high mark and treats pages above it as reclaimable first.
+
+Samples are ``(virtual-time, faults, refaults)`` cumulative tuples in
+a pruned deque per space; everything is arithmetic at observation
+time, nothing touches the clock or the fault path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+#: Default estimation window (virtual milliseconds) — the mid PSI
+#: window: long enough to smooth one reclaim burst, short enough that
+#: an exited phase ages out quickly.
+DEFAULT_WINDOW_MS = 60.0
+
+#: Default watermark slack factors around the WSS estimate.
+DEFAULT_HIGH_FACTOR = 1.25
+DEFAULT_LOW_FACTOR = 0.5
+
+
+class WorkingSetEstimator:
+    """Sliding-window WSS estimates with high/low watermarks."""
+
+    def __init__(self, window_ms: float = DEFAULT_WINDOW_MS,
+                 high_factor: float = DEFAULT_HIGH_FACTOR,
+                 low_factor: float = DEFAULT_LOW_FACTOR):
+        self.window_ms = window_ms
+        self.high_factor = high_factor
+        self.low_factor = low_factor
+        #: per-space samples: (now, faults_cum, refaults_cum).
+        self._samples: Dict[int, Deque[Tuple[float, int, int]]] = {}
+        #: last observed residency per space.
+        self._resident: Dict[int, int] = {}
+
+    def observe(self, space: int, now: float, resident: int,
+                faults: int, refaults: int) -> None:
+        """Record one balancer-tick sample for *space* (cumulative
+        fault/refault counts; *resident* is the current charge)."""
+        samples = self._samples.get(space)
+        if samples is None:
+            samples = self._samples[space] = deque()
+        samples.append((now, faults, refaults))
+        horizon = now - self.window_ms
+        # Keep one sample at-or-before the horizon as the window base.
+        while len(samples) > 1 and samples[1][0] <= horizon:
+            samples.popleft()
+        self._resident[space] = resident
+
+    def _window_delta(self, space: int, index: int) -> int:
+        samples = self._samples.get(space)
+        if not samples or len(samples) < 2:
+            return 0
+        return samples[-1][index] - samples[0][index]
+
+    def refault_rate(self, space: int) -> int:
+        """Refaults observed inside the trailing window."""
+        return self._window_delta(space, 2)
+
+    def fault_rate(self, space: int) -> int:
+        """Faults observed inside the trailing window."""
+        return self._window_delta(space, 1)
+
+    def wss(self, space: int) -> int:
+        """The working-set size estimate (pages)."""
+        return self._resident.get(space, 0) + self.refault_rate(space)
+
+    def high(self, space: int) -> int:
+        """The grow-toward watermark (pages)."""
+        wss = self.wss(space)
+        return int(wss * self.high_factor + 0.5)
+
+    def low(self, space: int) -> int:
+        """The shrink-toward watermark (pages)."""
+        wss = self.wss(space)
+        return int(wss * self.low_factor)
+
+    def drop_space(self, space: int) -> None:
+        """Forget a destroyed space's samples."""
+        self._samples.pop(space, None)
+        self._resident.pop(space, None)
+
+    def __repr__(self) -> str:
+        return (f"WorkingSetEstimator(window={self.window_ms}ms, "
+                f"{len(self._samples)} spaces)")

@@ -65,6 +65,8 @@ class FaultMixin:
                 self.clock.charge(CostEvent.FAULT_DISPATCH)
                 pressure.begin_task(fault.space)
                 try:
+                    if self.admission is not None:
+                        self.admission.admit(fault.space)
                     task = FaultTask(
                         space=fault.space,
                         address=fault.address,
@@ -88,6 +90,8 @@ class FaultMixin:
             self.clock.charge(CostEvent.FAULT_DISPATCH)
             pressure.begin_task(fault.space)
             try:
+                if self.admission is not None:
+                    self.admission.admit(fault.space)
                 if self._cluster_on and self._cluster_fast_fault(fault):
                     # The page was parked by the prefetcher: adopted and
                     # installed with the pipeline's exact accounting.

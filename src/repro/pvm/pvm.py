@@ -17,7 +17,10 @@ from typing import Dict, Optional
 from repro.cache.engine import CacheEngine
 from repro.cache.eviction import EvictionPolicy
 from repro.cache.writeback import WriteBehindQueue
-from repro.engine import FaultPipeline, InFlightTable, IoScheduler
+from repro.engine import (
+    AdmissionGate, FaultPipeline, InFlightTable, IoScheduler,
+)
+from repro.pressure import FrameArbiter
 from repro.errors import InvalidOperation, StaleObject
 from repro.gmi.interface import MemoryManager
 from repro.gmi.types import Protection
@@ -98,7 +101,8 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                  probe: Optional[Probe] = None,
                  cluster_policy=None,
                  io_threads: int = 0,
-                 io_queue_pages: int = 128):
+                 io_queue_pages: int = 128,
+                 arbiter: Optional[FrameArbiter] = None):
         self.memory = memory or build_physical_memory(memory_size, page_size)
         self.clock = clock or VirtualClock()
         if mmu is None:
@@ -158,8 +162,18 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
         #: the unified cache subsystem (repro.cache): shared residency
         #: index, pluggable eviction policy (second-chance clock by
         #: default) and the ranged pullIn/pushOut drivers.
-        self.cache_engine = CacheEngine(self, policy=replacement_policy)
+        self.cache_engine = CacheEngine(self, policy=replacement_policy,
+                                        arbiter=arbiter)
         self.residency = self.cache_engine.residency
+        #: the frame arbiter (repro.pressure): global residency budget
+        #: and per-space grants.  Inert unless constructed with a
+        #: budget — the default keeps every legacy path bit-identical.
+        self.arbiter = self.cache_engine.arbiter
+        #: the fault admission gate: present only when the arbiter
+        #: carries an admission controller; checked per fault dispatch.
+        qos = self.arbiter.qos
+        self.admission = None if qos is None else AdmissionGate(
+            qos, self.clock, board=self.pressure, probe=self.probe)
         self.current_context: Optional[PvmContext] = None
 
     # ------------------------------------------------------------------
@@ -248,6 +262,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
                                                  region.size)
             board.set_residency(space, resident, mapped)
         board.publish()
+        self.arbiter.publish(board.registry)
 
     def contexts(self):
         """Live contexts, in creation order."""
@@ -286,6 +301,7 @@ class PagedVirtualMemory(HistoryMixin, PerPageMixin, CacheOpsMixin,
             self.hw.destroy_space(context.space)
             del self._space_contexts[context.space]
             self.pressure.drop_space(context.space)
+            self.arbiter.drop_space(context.space)
             context.destroyed = True
             if self.current_context is context:
                 self.current_context = None

@@ -7,7 +7,7 @@ The reproduction's layering (docs/ARCHITECTURE.md) is::
     repro.pvm.hw_interface       machine-dependent layer
     repro.hardware               MMU ports, TLB, bus, physical memory
 
-Five rules keep the stack honest — the same discipline the paper's
+Eight rules keep the stack honest — the same discipline the paper's
 "hardware-independent interface" (section 4) imposes on the real PVM:
 
 1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
@@ -46,6 +46,13 @@ Five rules keep the stack honest — the same discipline the paper's
    callers hand it space ids, page counts and extent tuples, never
    kernel objects — which is what lets any manager (or a bare test)
    host a board.
+8. **Pressure policy decides, it does not reach down.**
+   ``repro.pressure`` (the frame arbiter, working-set estimator,
+   balancer daemon and admission controller) imports neither backends
+   nor ``repro.hardware`` nor ``repro.cache``: the cache engine calls
+   *up* into the arbiter with space ids and page counts, and the
+   balancer drives reclaim through the duck-typed ``vm`` handle — so
+   the policy layer stays swappable over any manager.
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -89,6 +96,12 @@ IO_MODULE = "repro.engine.io"
 
 #: the pressure board: rule 3's bans plus the cache subsystem.
 PRESSURE_MODULE = "repro.obs.pressure"
+
+#: the pressure-policy package: backends, hardware and the cache
+#: subsystem are all off limits (rule 8).
+POLICY_PACKAGE = "repro.pressure"
+
+POLICY_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware", "repro.cache")
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -179,6 +192,16 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                         module, imported,
                         "repro.obs.pressure takes primitives, not "
                         "cache objects: it must not import repro.cache",
+                    ))
+        if _under(module, POLICY_PACKAGE):
+            for imported in imports:
+                if any(_under(imported, banned)
+                       for banned in POLICY_FORBIDDEN):
+                    violations.append((
+                        module, imported,
+                        "repro.pressure decides over primitives: it "
+                        "must not import backends, hardware or the "
+                        "cache subsystem",
                     ))
         if _under(module, "repro.cache"):
             for imported in imports:

@@ -26,14 +26,31 @@ MIX_SHARED_PAGES = 48
 MIX_ROUNDS = 4
 
 
+#: Frame budget the mix's arbiter hands out (the three spaces want
+#: ~96 pages, so the balancer visibly squeezes the pager's stream).
+MIX_BUDGET = 80
+MIX_FLOOR = 4
+
+
 def build_mix(io_threads: int = 2) -> dict:
     """The ``repro.mix`` scenario: three address spaces with distinct
-    memory personalities on one SUN-3/60-calibrated PVM nucleus."""
+    memory personalities on one SUN-3/60-calibrated PVM nucleus,
+    arbitrated by a working-set balancer so the grant/WSS columns are
+    live."""
     from repro.bench.harness import build_nucleus
     from repro.gmi.types import Protection
+    from repro.pressure import (
+        AdmissionController, BalancerDaemon, FrameArbiter,
+        WorkingSetEstimator,
+    )
     from repro.segments.mem_mapper import MemoryMapper
 
-    nucleus = build_nucleus("pvm", io_threads=io_threads)
+    arbiter = FrameArbiter(
+        global_budget=MIX_BUDGET, floor_pages=MIX_FLOOR,
+        ws=WorkingSetEstimator(),
+        qos=AdmissionController(window_ms=10.0, fault_limit=64),
+    )
+    nucleus = build_nucleus("pvm", io_threads=io_threads, arbiter=arbiter)
     vm = nucleus.vm
     page = vm.page_size
 
@@ -48,7 +65,8 @@ def build_mix(io_threads: int = 2) -> dict:
     from repro import ZeroFillProvider
 
     state = {"nucleus": nucleus, "vm": vm, "clock": nucleus.clock,
-             "page": page, "shared": shared, "round": 0}
+             "page": page, "shared": shared, "round": 0,
+             "daemon": BalancerDaemon(vm)}
     for name, pages in (("make", 16), ("editor", 8), ("pager", 24)):
         heap = vm.cache_create(ZeroFillProvider(), name=f"{name}.heap")
         context = vm.context_create(name)
@@ -95,6 +113,12 @@ def mix_round(state: dict) -> None:
     for index in range(16):
         vm.user_write(make, MIX_BASE + index * page, b"\x01")
 
+    # The balancer re-splits the frame budget on what this round
+    # demonstrated (one tick per frame, like a kernel daemon).
+    daemon = state.get("daemon")
+    if daemon is not None:
+        daemon.tick()
+
 
 def format_top(vm, start_ms: float = 0.0) -> str:
     """Render one frame: a PSI header plus the per-space table."""
@@ -105,6 +129,8 @@ def format_top(vm, start_ms: float = 0.0) -> str:
     elapsed = max(now - start_ms, 1e-9)
     names: Dict[int, str] = {context.space: context.name
                              for context in vm.contexts()}
+    arbiter = getattr(vm, "arbiter", None)
+    arbitrated = arbiter is not None and arbiter.active
     lines = [
         f"repro top — virtual {now - start_ms:.3f} ms, "
         f"{len(board.accounts)} spaces",
@@ -116,11 +142,21 @@ def format_top(vm, start_ms: float = 0.0) -> str:
         + " ".join(f"avg{int(window)}={board.full.avg(window, now):6.1%}"
                    for window in (10.0, 60.0, 300.0))
         + f"  total={board.full.total_ms:.3f}ms",
-        "",
+    ]
+    if arbitrated:
+        lines.append(
+            f"arbiter     budget={arbiter.global_budget} pages, "
+            f"floor={arbiter.floor_pages}, "
+            f"charged={sum(arbiter.charged.values())}, "
+            f"refaults={arbiter.total_refaults}")
+    header = (
         f"{'space':>5} {'name':<10} {'rss':>5} {'faults':>7} "
         f"{'pull_kb':>8} {'push_kb':>8} {'wait':>5} {'ev_c':>5} "
-        f"{'ev_s':>5} {'io%':>6} {'stall%':>7}",
-    ]
+        f"{'ev_s':>5} {'io%':>6} {'stall%':>7}"
+    )
+    if arbitrated:
+        header += f" {'grant':>6} {'wss':>6} {'thr_ms':>7}"
+    lines.extend(["", header])
     accounts = sorted(board.accounts.values(),
                       key=lambda acct: acct.stall.total_ms, reverse=True)
     total_io = sum(acct.pull_bytes + acct.push_bytes
@@ -128,13 +164,22 @@ def format_top(vm, start_ms: float = 0.0) -> str:
     for acct in accounts:
         faults = acct.faults_read + acct.faults_write
         io_share = (acct.pull_bytes + acct.push_bytes) / total_io
-        lines.append(
+        line = (
             f"{acct.space:>5} {names.get(acct.space, '-')[:10]:<10} "
             f"{acct.resident_pages:>5} {faults:>7} "
             f"{acct.pull_bytes / KB:>8.1f} {acct.push_bytes / KB:>8.1f} "
             f"{acct.inflight_waits:>5} {acct.evictions_caused:>5} "
             f"{acct.evictions_suffered:>5} {io_share:>6.1%} "
             f"{acct.stall.total_ms / elapsed:>7.1%}")
+        if arbitrated:
+            ws = arbiter.ws
+            wss = "-" if ws is None else f"{ws.wss(acct.space):.0f}"
+            qos = arbiter.qos
+            throttled = ("-" if qos is None
+                         else f"{qos.backoff_of(acct.space):.1f}")
+            line += (f" {arbiter.grant_of(acct.space):>6} {wss:>6} "
+                     f"{throttled:>7}")
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -118,6 +118,34 @@ class TestCompareGate:
         assert statuses[("brand_new", "pvm")] == "new"
         assert "ok" in statuses.values() or not report["regressions"]
 
+    def test_elderly_baseline_degrades_gracefully(self, mini_doc):
+        # A baseline recorded before the psi gauges, the io-queue
+        # gauges or even the virtual clock existed must still compare:
+        # the newer columns render as "-", never a KeyError.
+        elderly = copy.deepcopy(mini_doc)
+        for cell in elderly["results"]:
+            cell.pop("virtual_ms", None)
+            metrics = cell["metrics"]
+            metrics.pop("gauges", None)
+            metrics.get("meta", {}).pop("virtual_ms", None)
+        report = compare(elderly, mini_doc)
+        assert report["regressions"] == []
+        for row in report["rows"]:
+            assert row["virtual_drift_ms"] is None
+            assert row["baseline_tlb_hit_rate"] is None
+            assert row["baseline_stall_fraction"] is None
+        rendered = format_compare(report)
+        assert "ok:" in rendered
+        assert "-" in rendered
+
+    def test_baseline_without_metrics_key_still_compares(self, mini_doc):
+        skeletal = copy.deepcopy(mini_doc)
+        for cell in skeletal["results"]:
+            cell.pop("metrics", None)
+        report = compare(skeletal, mini_doc)
+        assert report["regressions"] == []
+        assert "ok:" in format_compare(report)
+
     def test_cli_gate_exits_nonzero(self, tmp_path, capsys):
         baseline_path = tmp_path / "baseline.json"
         current_path = tmp_path / "current.json"

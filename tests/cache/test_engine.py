@@ -30,7 +30,8 @@ def run_pin_scenario(vm):
     vm.reclaim_frames(1)
     cache.unlock(0, PAGE)
     vm.reclaim_frames(1)
-    return set(cache.resident_offsets())
+    return {offset + step for offset, length in cache.resident_extents()
+            for step in range(0, length, PAGE)}
 
 
 class TestPolicySwap:
@@ -89,6 +90,52 @@ class TestBudget:
         for index in range(4):
             assert cache.resident_page(index * PAGE) is not None
 
+    def test_zero_budget_keeps_only_the_incoming_page(self):
+        # budget=0 is the degenerate grant: every insert overshoots,
+        # and the reclaim pass must terminate (no spin) leaving at most
+        # the page it was told to exclude — the one being inserted.
+        vm = PagedVirtualMemory(memory_size=64 * PAGE)
+        vm.cache_engine.budget = 0
+        cache = vm.cache_create(ZeroFillProvider(), name="starved")
+        for index in range(6):
+            cache.write(index * PAGE, bytes([index + 1]) * 8)
+            assert vm.resident_page_count <= 1
+        # The data still round-trips through the provider.
+        for index in range(6):
+            assert cache.read(index * PAGE, 8) == bytes([index + 1]) * 8
+
+    def test_zero_budget_reclaim_returns_without_progress(self):
+        # An explicit reclaim against an empty residency set must
+        # report zero and return (no retry loop on no-progress).
+        vm = PagedVirtualMemory(memory_size=64 * PAGE)
+        vm.cache_engine.budget = 0
+        assert vm.cache_engine.reclaim(8) == 0
+
+    def test_all_pinned_reclaim_terminates_without_evicting(self):
+        # Every resident page pinned: the victim walk visits each page
+        # once, evicts none, and returns 0 instead of spinning.
+        vm = PagedVirtualMemory(memory_size=64 * PAGE)
+        cache = vm.cache_create(ZeroFillProvider(), name="wired")
+        cache.lock_in_memory(0, 4 * PAGE)
+        resident_before = vm.resident_page_count
+        assert vm.cache_engine.reclaim(4) == 0
+        assert vm.resident_page_count == resident_before
+        for index in range(4):
+            assert cache.resident_page(index * PAGE) is not None
+
+    def test_all_pinned_insert_under_budget_does_not_spin(self):
+        # budget=1 with 4 pinned pages: inserting a fifth page finds
+        # no unpinned victim except itself (excluded) — the insert
+        # completes over budget rather than looping.
+        vm = PagedVirtualMemory(memory_size=64 * PAGE)
+        vm.cache_engine.budget = 1
+        cache = vm.cache_create(ZeroFillProvider(), name="over-wired")
+        cache.lock_in_memory(0, 4 * PAGE)
+        cache.write(4 * PAGE, b"fifth")
+        assert vm.resident_page_count >= 4
+        for index in range(4):
+            assert cache.resident_page(index * PAGE) is not None
+
 
 class TestDrainRetained:
     def test_drop_retained_shows_in_cache_evict_counters(self):
@@ -100,7 +147,8 @@ class TestDrainRetained:
         cache = sm.bind(capability)
         cache.write(0, b"dirty")
         cache.read(PAGE, 8)
-        resident = len(cache.resident_offsets())
+        resident = sum(length for _, length in
+                       cache.resident_extents()) // PAGE
         assert resident >= 2
         sm.release(capability)
         assert sm.retained_count == 1
@@ -122,7 +170,7 @@ class TestDrainRetained:
             cache.write(index * PAGE, b"d")
         dropped = vm.cache_engine.drain(cache)
         assert dropped == 3
-        assert cache.resident_offsets() == []
+        assert cache.resident_extents() == []
         # Data survived the drain via pushOut.
         assert cache.read(0, 1) == b"d"
 

@@ -33,5 +33,6 @@ def make_cache(pvm):
 def mapped(pvm, ctx, make_cache):
     """A 64 KB RW region at 0x100000 over a fresh cache."""
     cache = make_cache("mapped")
-    region = ctx.region_create(0x100000, 64 * KB, Protection.RW, cache, 0)
+    region = ctx.region_create(0x100000, 64 * KB, protection=Protection.RW,
+                               cache=cache, offset=0)
     return cache, region

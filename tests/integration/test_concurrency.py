@@ -60,7 +60,8 @@ class TestParallelFaulting:
         cache.write(0, b"shared page")
         contexts = [vm.context_create(f"t{index}") for index in range(4)]
         for context in contexts:
-            context.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+            context.region_create(0x40000, PAGE, protection=Protection.RW,
+                                  cache=cache, offset=0)
         results = []
 
         def worker(index):

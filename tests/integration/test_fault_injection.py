@@ -62,7 +62,8 @@ class TestFlakyMapper:
         provider = FlakyProvider(failures=1)
         cache = vm.cache_create(provider)
         ctx = vm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         with pytest.raises(MapperError):
             vm.user_read(ctx, 0x40000, 1)
         assert vm.user_read(ctx, 0x40000, 1) == b"\x5A"
@@ -84,8 +85,8 @@ class TestMemoryExhaustionRecovery:
         vm = PagedVirtualMemory(memory_size=4 * PAGE)
         cache = vm.cache_create(FlakyProvider(failures=0))
         ctx = vm.context_create()
-        region = ctx.region_create(0x40000, 4 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()             # all RAM pinned
         other = vm.cache_create(FlakyProvider(failures=0))
         with pytest.raises(OutOfFrames):

@@ -27,7 +27,8 @@ class TestCoreAtEveryPageSize:
         vm = PagedVirtualMemory(memory_size=2 * MB, page_size=page_size)
         ctx = vm.context_create()
         src = vm.cache_create(ZeroFillProvider(), name="src")
-        ctx.region_create(0x100000, 4 * page_size, Protection.RW, src, 0)
+        ctx.region_create(0x100000, 4 * page_size, protection=Protection.RW,
+                          cache=src, offset=0)
         for index in range(4):
             vm.user_write(ctx, 0x100000 + index * page_size,
                           bytes([index + 1]) * 8)

@@ -175,7 +175,8 @@ class TestIpcDecoupling:
         from repro.gmi.types import Protection
         ctx = vm.context_create()
         cache = make_cache(vm)
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         vm.user_write(ctx, 0x40000, b"region data")
         regions_before = [(r.address, r.size) for r in ctx.get_region_list()]
         ipc.create_port("p")

@@ -94,7 +94,8 @@ class TestBasicShadowCopy:
         dst = make(vm, "dst")
         shadow_copy(src, dst)
         ctx = vm.context_create()
-        ctx.region_create(0x40000, 3 * PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, 3 * PAGE, protection=Protection.RW,
+                          cache=dst, offset=0)
         assert vm.user_read(ctx, 0x40000, 2) == bytes([9, 9])
         vm.user_write(ctx, 0x40000, b"mapped")
         assert src.read(0, 2) == bytes([9, 9])

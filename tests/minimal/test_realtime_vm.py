@@ -25,15 +25,16 @@ class TestFaultFreedom:
     def test_region_fully_resident_at_create(self, vm):
         ctx = vm.context_create()
         cache = make_cache(vm)
-        region = ctx.region_create(0x40000, 4 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         assert region.status().resident_pages == 4
         assert all(page.pinned for page in cache.pages.values())
 
     def test_no_faults_after_create(self, vm):
         ctx = vm.context_create()
         cache = make_cache(vm)
-        ctx.region_create(0x40000, 4 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         faults_before = vm.bus.stats.get("faults")
         for index in range(4):
             vm.user_write(ctx, 0x40000 + index * PAGE, b"deterministic")
@@ -44,7 +45,8 @@ class TestFaultFreedom:
         """The lockInMemory guarantee, as the default."""
         ctx = vm.context_create()
         cache = make_cache(vm)
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         frames_before = {
             vaddr: vm.mmu.lookup(ctx.space, 0x40000 + vaddr * PAGE).frame
             for vaddr in range(2)
@@ -71,27 +73,31 @@ class TestEagerBehaviour:
         ctx = vm.context_create()
         cache = make_cache(vm)
         # 1 MB RAM = 128 frames; a 120-page region fits...
-        ctx.region_create(0x100000, 120 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x100000, 120 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         # ...but the next eager region does not, and nothing is evicted.
         other = make_cache(vm)
         with pytest.raises(OutOfFrames):
-            ctx.region_create(0xF00000, 16 * PAGE, Protection.RW, other, 0)
+            ctx.region_create(0xF00000, 16 * PAGE, protection=Protection.RW,
+                              cache=other, offset=0)
 
     def test_failed_create_rolls_back(self, vm):
         ctx = vm.context_create()
         cache = make_cache(vm)
-        ctx.region_create(0x100000, 120 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x100000, 120 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         other = make_cache(vm)
         with pytest.raises(OutOfFrames):
-            ctx.region_create(0xF00000, 16 * PAGE, Protection.RW, other, 0)
+            ctx.region_create(0xF00000, 16 * PAGE, protection=Protection.RW,
+                              cache=other, offset=0)
         # The failed region is not left behind half-created.
-        assert ctx.find_region(0xF00000) is None
+        assert ctx.regions_overlapping(0xF00000, 1) == []
 
     def test_destroy_releases_frames(self, vm):
         ctx = vm.context_create()
         cache = make_cache(vm)
-        region = ctx.region_create(0x40000, 8 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 8 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         free_before = vm.memory.free_frames
         region.destroy()
         cache.destroy()

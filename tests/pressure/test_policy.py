@@ -1,0 +1,232 @@
+"""The pressure-policy layer: arbiter, estimator, throttle, gate.
+
+Unit tests over the pure-arithmetic pieces (no manager needed) plus
+the engine-side admission gate on a real virtual clock.  The
+end-to-end balancer behaviour over a live PVM lives in
+``test_balancer.py``; the fairness state machine in
+``tests/property/test_balancer_model.py``.
+"""
+
+import pytest
+
+from repro.engine import AdmissionGate
+from repro.kernel.clock import VirtualClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.pressure import PressureBoard
+from repro.pressure import (
+    AdmissionController, FrameArbiter, WorkingSetEstimator,
+)
+
+
+class TestFrameArbiterInert:
+    def test_inert_by_default(self):
+        arbiter = FrameArbiter()
+        assert not arbiter.active
+        assert arbiter.overshoot(10_000) == 0
+
+    def test_inert_adopt_is_a_no_op(self):
+        arbiter = FrameArbiter()
+        arbiter.adopt(1)
+        assert arbiter.grants == {}
+
+    def test_grant_defaults_to_floor(self):
+        arbiter = FrameArbiter(floor_pages=6)
+        assert arbiter.grant_of(42) == 6
+
+
+class TestFrameArbiterCharges:
+    def test_charge_and_release_round_trip(self):
+        arbiter = FrameArbiter(global_budget=16)
+        arbiter.charge(1)
+        arbiter.charge(1)
+        arbiter.charge(None)
+        assert arbiter.charged_of(1) == 2
+        assert arbiter.charged_of(None) == 1
+        arbiter.release(1)
+        arbiter.release(1)
+        assert arbiter.charged_of(1) == 0
+        assert 1 not in arbiter.charged
+
+    def test_release_tolerates_unknown_space(self):
+        arbiter = FrameArbiter(global_budget=16)
+        arbiter.release(99)                      # never charged: no-op
+        assert arbiter.charged_of(99) == 0
+
+    def test_charge_adopts_newborn_at_floor(self):
+        arbiter = FrameArbiter(global_budget=16, floor_pages=4)
+        arbiter.charge(7)
+        assert arbiter.grants == {7: 4}
+
+    def test_overshoot_is_resident_minus_budget(self):
+        arbiter = FrameArbiter(global_budget=8)
+        assert arbiter.overshoot(11) == 3
+        assert arbiter.overshoot(8) == 0
+        assert arbiter.overshoot(2) == 0
+
+
+class TestAdoptionSkim:
+    def test_adopt_skims_largest_grants(self):
+        # Budget 12, floor 2: two incumbents at 8 and 4; the newborn's
+        # floor is funded from the largest grant.
+        arbiter = FrameArbiter(global_budget=12, floor_pages=2)
+        arbiter.grants.update({1: 8, 2: 4})
+        arbiter.adopt(3)
+        assert sum(arbiter.grants.values()) <= 12
+        assert arbiter.grants[3] == 2
+        assert arbiter.grants[1] < 8            # the big grant paid
+
+    def test_floors_win_when_budget_cannot_cover_them(self):
+        arbiter = FrameArbiter(global_budget=4, floor_pages=4)
+        arbiter.adopt(1)
+        arbiter.adopt(2)
+        # 2 floors of 4 over a budget of 4: no donor above the floor,
+        # so the sum exceeds the budget — starvation protection wins.
+        assert arbiter.grants == {1: 4, 2: 4}
+
+    def test_drop_space_orphans_charges(self):
+        arbiter = FrameArbiter(global_budget=16)
+        arbiter.charge(5)
+        arbiter.charge(5)
+        arbiter.drop_space(5)
+        assert 5 not in arbiter.grants
+        assert arbiter.charged_of(5) == 0
+        assert arbiter.charged_of(None) == 2
+
+
+class TestRefaultMemory:
+    def test_pull_after_eviction_counts_as_refault(self):
+        arbiter = FrameArbiter(global_budget=16)
+        arbiter.note_evicted(1, 0x0000, space=3)
+        arbiter.note_evicted(1, 0x2000, space=3)
+        hits = arbiter.note_pull(1, 0x0000, pages=2, page_size=0x2000,
+                                 space=3)
+        assert hits == 2
+        assert arbiter.refaults[3] == 2
+        assert arbiter.total_refaults == 2
+
+    def test_cold_pull_is_not_a_refault(self):
+        arbiter = FrameArbiter(global_budget=16)
+        assert arbiter.note_pull(1, 0, 4, 0x2000, space=1) == 0
+        assert arbiter.total_refaults == 0
+
+    def test_refault_memory_is_bounded(self):
+        arbiter = FrameArbiter(global_budget=16, refault_horizon=4)
+        for index in range(10):
+            arbiter.note_evicted(1, index * 0x2000, space=1)
+        # Only the four newest survive; the oldest aged out.
+        assert arbiter.note_pull(1, 0, 1, 0x2000, space=1) == 0
+        assert arbiter.note_pull(1, 9 * 0x2000, 1, 0x2000, space=1) == 1
+
+    def test_refault_consumed_once(self):
+        arbiter = FrameArbiter(global_budget=16)
+        arbiter.note_evicted(2, 0, space=1)
+        assert arbiter.note_pull(2, 0, 1, 0x2000, space=1) == 1
+        assert arbiter.note_pull(2, 0, 1, 0x2000, space=1) == 0
+
+
+class TestWorkingSetEstimator:
+    def test_single_sample_estimates_residency(self):
+        ws = WorkingSetEstimator()
+        ws.observe(1, now=0.0, resident=10, faults=10, refaults=0)
+        assert ws.refault_rate(1) == 0
+        assert ws.wss(1) == 10
+
+    def test_windowed_refaults_grow_the_estimate(self):
+        ws = WorkingSetEstimator(window_ms=60.0)
+        ws.observe(1, 0.0, resident=10, faults=10, refaults=0)
+        ws.observe(1, 30.0, resident=10, faults=25, refaults=5)
+        assert ws.refault_rate(1) == 5
+        assert ws.fault_rate(1) == 15
+        assert ws.wss(1) == 15
+
+    def test_old_samples_age_out_of_the_window(self):
+        ws = WorkingSetEstimator(window_ms=60.0)
+        ws.observe(1, 0.0, resident=10, faults=0, refaults=0)
+        ws.observe(1, 10.0, resident=10, faults=0, refaults=8)
+        ws.observe(1, 100.0, resident=10, faults=0, refaults=8)
+        ws.observe(1, 120.0, resident=10, faults=0, refaults=8)
+        # The refault burst at t=10 left the trailing 60ms window.
+        assert ws.refault_rate(1) == 0
+        assert ws.wss(1) == 10
+
+    def test_watermarks_bracket_the_estimate(self):
+        ws = WorkingSetEstimator(high_factor=1.25, low_factor=0.5)
+        ws.observe(1, 0.0, resident=8, faults=0, refaults=0)
+        assert ws.high(1) == 10
+        assert ws.low(1) == 4
+
+    def test_drop_space_forgets_samples(self):
+        ws = WorkingSetEstimator()
+        ws.observe(1, 0.0, resident=8, faults=0, refaults=0)
+        ws.drop_space(1)
+        assert ws.wss(1) == 0
+
+
+class TestAdmissionController:
+    def test_no_limits_no_penalty(self):
+        qos = AdmissionController()
+        assert qos.penalty(1, now=5.0) == 0.0
+
+    def test_window_limit_delays_the_overflow_fault(self):
+        qos = AdmissionController(window_ms=10.0, fault_limit=2)
+        assert qos.penalty(1, 0.0) == 0.0
+        assert qos.penalty(1, 1.0) == 0.0
+        # Third fault inside the window: wait until the first admission
+        # (t=0) leaves the 10ms window.
+        assert qos.penalty(1, 2.0) == pytest.approx(8.0)
+        assert qos.delayed == 1
+
+    def test_window_limits_are_per_space(self):
+        qos = AdmissionController(window_ms=10.0, fault_limit=1)
+        assert qos.penalty(1, 0.0) == 0.0
+        assert qos.penalty(2, 0.0) == 0.0        # other space unaffected
+        assert qos.penalty(1, 1.0) > 0.0
+
+    def test_suspension_backoff_doubles_to_the_cap(self):
+        qos = AdmissionController(backoff_ms=0.5, backoff_limit_ms=2.0)
+        assert qos.suspend(1, 0.0) == pytest.approx(0.5)
+        assert qos.suspend(1, 0.0) == pytest.approx(1.0)
+        assert qos.suspend(1, 0.0) == pytest.approx(2.0)
+        assert qos.suspend(1, 0.0) == pytest.approx(2.0)   # capped
+        assert qos.suspensions == 4
+
+    def test_suspended_fault_pays_the_remainder(self):
+        qos = AdmissionController(backoff_ms=4.0)
+        qos.suspend(1, now=10.0)                 # lifts at 14.0
+        assert qos.penalty(1, 11.0) == pytest.approx(3.0)
+
+    def test_expired_suspension_keeps_backoff_until_resume(self):
+        qos = AdmissionController(backoff_ms=0.5)
+        qos.suspend(1, 0.0)
+        assert qos.penalty(1, 5.0) == 0.0        # suspension expired
+        assert not qos.suspended(1, 5.0)
+        assert qos.backoff_of(1) == pytest.approx(0.5)
+        # A re-suspension escalates from the remembered backoff...
+        qos.suspend(1, 5.0)
+        assert qos.backoff_of(1) == pytest.approx(1.0)
+        # ...until the balancer sees calm and resumes.
+        qos.resume(1)
+        assert qos.backoff_of(1) == 0.0
+
+
+class TestAdmissionGate:
+    def test_zero_penalty_leaves_the_clock_alone(self):
+        clock = VirtualClock()
+        gate = AdmissionGate(AdmissionController(), clock)
+        assert gate.admit(1) == 0.0
+        assert clock.now() == 0.0
+
+    def test_delay_advances_the_clock_and_notes_the_stall(self):
+        clock = VirtualClock()
+        board = PressureBoard(MetricsRegistry(), clock.now)
+        qos = AdmissionController(backoff_ms=2.0)
+        gate = AdmissionGate(qos, clock, board=board)
+        qos.suspend(1, clock.now())
+        before = clock.now()
+        delay = gate.admit(1)
+        assert delay == pytest.approx(2.0)
+        assert clock.now() == pytest.approx(before + 2.0)
+        # Throttle stalls are counted but zero-duration: the
+        # psi.memory windows stay pure memory stalls.
+        assert board.stall_counts.get("throttle") == 1
+        assert board.full.total_ms == 0.0

@@ -137,8 +137,8 @@ class CowMachine(RuleBasedStateMachine):
         if region is None:
             address = 0x100000 + cache * 0x100000
             region = self.context.region_create(
-                address, SEGMENT_PAGES * PAGE, Protection.RW,
-                self.caches[cache], 0)
+                address, SEGMENT_PAGES * PAGE, protection=Protection.RW,
+                cache=self.caches[cache], offset=0)
             self.regions[cache] = region
         data = bytes([value]) * 32
         self.vm.user_write(self.context,

@@ -48,13 +48,13 @@ class RegionMachine(RuleBasedStateMachine):
         free = all(self.slots[s] is None for s in range(slot, slot + pages))
         if not free:
             with pytest.raises(InvalidOperation):
-                self.context.region_create(self._address(slot),
-                                           pages * PAGE, prot,
-                                           self.cache, slot * PAGE)
+                self.context.region_create(self._address(slot), pages * PAGE,
+                                           protection=prot, cache=self.cache,
+                                           offset=slot * PAGE)
             return
-        region = self.context.region_create(self._address(slot),
-                                            pages * PAGE, prot,
-                                            self.cache, slot * PAGE)
+        region = self.context.region_create(self._address(slot), pages * PAGE,
+                                            protection=prot, cache=self.cache,
+                                            offset=slot * PAGE)
         for s in range(slot, slot + pages):
             self.slots[s] = (region, prot)
 

@@ -40,19 +40,22 @@ class TestUnifiedCache:
 
     def test_mapped_write_visible_to_explicit_read(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000 + 10, b"mapped")
         assert cache.read(10, 6) == b"mapped"
 
     def test_explicit_write_visible_to_mapped_read(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         cache.write(20, b"explicit")
         assert pvm.user_read(ctx, 0x40000 + 20, 8) == b"explicit"
 
     def test_single_frame_for_both_paths(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"x")
         cache.read(0, 1)
         assert len(cache.pages) == 1
@@ -102,7 +105,8 @@ class TestMove:
 class TestSetProtection:
     def test_write_cap_blocks_mapped_write(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"before")
         cache.set_protection(0, PAGE, Protection.READ)
         with pytest.raises(AccessViolation):
@@ -111,7 +115,8 @@ class TestSetProtection:
 
     def test_lifting_cap_restores_write(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         cache.set_protection(0, PAGE, Protection.READ)
         cache.set_protection(0, PAGE, Protection.RWX)
         pvm.user_write(ctx, 0x40000, b"ok")
@@ -139,7 +144,8 @@ class TestSetProtection:
 
         provider = CoherenceProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_read(ctx, 0x40000, 1)
         cache.set_protection(0, PAGE, Protection.READ)
         pvm.user_write(ctx, 0x40000, b"dsm write")

@@ -27,7 +27,8 @@ class TestContext:
     def test_destroy_unmaps_regions(self, pvm, make_cache):
         ctx = pvm.context_create()
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000, b"x")
         ctx.destroy()
         assert region.destroyed
@@ -38,40 +39,49 @@ class TestContext:
 class TestRegionCreate:
     def test_region_list_sorted(self, pvm, ctx, make_cache):
         cache = make_cache()
-        r2 = ctx.region_create(0x20000, PAGE, Protection.RW, cache, 0)
-        r1 = ctx.region_create(0x10000, PAGE, Protection.RW, cache, PAGE)
+        r2 = ctx.region_create(0x20000, PAGE, protection=Protection.RW,
+                               cache=cache, offset=0)
+        r1 = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                               cache=cache, offset=PAGE)
         assert ctx.get_region_list() == [r1, r2]
 
     def test_unaligned_address_rejected(self, pvm, ctx, make_cache):
         with pytest.raises(InvalidOperation):
-            ctx.region_create(0x10001, PAGE, Protection.RW, make_cache(), 0)
+            ctx.region_create(0x10001, PAGE, protection=Protection.RW,
+                              cache=make_cache(), offset=0)
 
     def test_unaligned_size_rejected(self, pvm, ctx, make_cache):
         with pytest.raises(InvalidOperation):
-            ctx.region_create(0x10000, 100, Protection.RW, make_cache(), 0)
+            ctx.region_create(0x10000, 100, protection=Protection.RW,
+                              cache=make_cache(), offset=0)
 
     def test_unaligned_offset_rejected(self, pvm, ctx, make_cache):
         with pytest.raises(InvalidOperation):
-            ctx.region_create(0x10000, PAGE, Protection.RW, make_cache(), 5)
+            ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                              cache=make_cache(), offset=5)
 
     def test_overlap_rejected(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x10000, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         with pytest.raises(InvalidOperation):
-            ctx.region_create(0x10000 + 2 * PAGE, PAGE, Protection.RW,
-                              cache, 0)
+            ctx.region_create(0x10000 + 2 * PAGE, PAGE,
+                              protection=Protection.RW, cache=cache, offset=0)
 
     def test_mapping_destroyed_cache_rejected(self, pvm, ctx, make_cache):
         cache = make_cache()
         cache.destroy()
         with pytest.raises(StaleObject):
-            ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+            ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                              cache=cache, offset=0)
 
     def test_same_cache_twice(self, pvm, ctx, make_cache):
         """Two regions may map the same cache (section 3.2)."""
         cache = make_cache()
-        ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
-        ctx.region_create(0x20000, PAGE, Protection.READ, cache, 0)
+        ctx.region_create(0x10000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
+        ctx.region_create(0x20000, PAGE, protection=Protection.READ,
+                          cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000, b"shared")
         assert pvm.user_read(ctx, 0x20000, 6) == b"shared"
 
@@ -79,24 +89,28 @@ class TestRegionCreate:
 class TestFindRegion:
     def test_find_hits_and_misses(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
-        assert ctx.find_region(0x10000) is region
-        assert ctx.find_region(0x10000 + 2 * PAGE - 1) is region
-        assert ctx.find_region(0x10000 + 2 * PAGE) is None
-        assert ctx.find_region(0xFFFF) is None
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
+        assert ctx.regions_overlapping(0x10000, 1) == [region]
+        assert ctx.regions_overlapping(0x10000 + 2 * PAGE - 1, 1) == [region]
+        assert ctx.regions_overlapping(0x10000 + 2 * PAGE, 1) == []
+        assert ctx.regions_overlapping(0xFFFF, 1) == []
 
     def test_allocate_address_skips_regions(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(PAGE, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(PAGE, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         addr = ctx.allocate_address(4 * PAGE)
         assert addr >= 3 * PAGE
-        ctx.region_create(addr, 4 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(addr, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
 
 
 class TestSplit:
     def test_split_preserves_coverage(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 4 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000 + 3 * PAGE, b"upper")
         upper = region.split(2 * PAGE)
         assert region.size == 2 * PAGE
@@ -109,7 +123,8 @@ class TestSplit:
         """The paper's rationale for split: protecting parts differently."""
         from repro.errors import AccessViolation
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         upper = region.split(PAGE)
         upper.set_protection(Protection.READ)
         pvm.user_write(ctx, 0x10000, b"ok")
@@ -118,7 +133,8 @@ class TestSplit:
 
     def test_split_bad_offsets(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         with pytest.raises(InvalidOperation):
             region.split(0)
         with pytest.raises(InvalidOperation):
@@ -129,7 +145,8 @@ class TestSplit:
     def test_no_spontaneous_split(self, pvm, ctx, make_cache):
         """Faulting and protection never change the region list."""
         cache = make_cache()
-        ctx.region_create(0x10000, 8 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x10000, 8 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000 + 5 * PAGE, b"data")
         assert len(ctx.get_region_list()) == 1
 
@@ -137,8 +154,8 @@ class TestSplit:
 class TestStatus:
     def test_status_fields(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, 4 * PAGE, Protection.RW, cache,
-                                   2 * PAGE)
+        region = ctx.region_create(0x10000, 4 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=2 * PAGE)
         pvm.user_write(ctx, 0x10000, b"x")
         status = region.status()
         assert status.address == 0x10000
@@ -153,8 +170,8 @@ class TestStatus:
         """A region may be a window into part of a segment."""
         cache = make_cache()
         cache.write(3 * PAGE, b"windowed")
-        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache,
-                                   3 * PAGE)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=3 * PAGE)
         assert pvm.user_read(ctx, 0x10000, 8) == b"windowed"
 
 
@@ -162,7 +179,8 @@ class TestDestroy:
     def test_destroy_unmaps(self, pvm, ctx, make_cache):
         from repro.errors import SegmentationFault
         cache = make_cache()
-        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000, b"gone")
         region.destroy()
         with pytest.raises(SegmentationFault):
@@ -170,14 +188,15 @@ class TestDestroy:
 
     def test_destroy_keeps_cache_data(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000, b"kept")
         region.destroy()
         assert cache.read(0, 4) == b"kept"
 
     def test_double_destroy_rejected(self, pvm, ctx, make_cache):
-        region = ctx.region_create(0x10000, PAGE, Protection.RW,
-                                   make_cache(), 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=make_cache(), offset=0)
         region.destroy()
         with pytest.raises(StaleObject):
             region.destroy()
@@ -188,14 +207,16 @@ class TestProtection:
         from repro.errors import AccessViolation
         cache = make_cache()
         cache.write(0, b"ro")
-        ctx.region_create(0x10000, PAGE, Protection.READ, cache, 0)
+        ctx.region_create(0x10000, PAGE, protection=Protection.READ,
+                          cache=cache, offset=0)
         assert pvm.user_read(ctx, 0x10000, 2) == b"ro"
         with pytest.raises(AccessViolation):
             pvm.user_write(ctx, 0x10000, b"X")
 
     def test_upgrade_protection(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, PAGE, Protection.READ, cache, 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.READ,
+                                   cache=cache, offset=0)
         pvm.user_read(ctx, 0x10000, 1)
         region.set_protection(Protection.RW)
         pvm.user_write(ctx, 0x10000, b"now ok")
@@ -204,7 +225,8 @@ class TestProtection:
     def test_downgrade_applies_to_resident_pages(self, pvm, ctx, make_cache):
         from repro.errors import AccessViolation
         cache = make_cache()
-        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x10000, b"data")
         region.set_protection(Protection.READ)
         with pytest.raises(AccessViolation):
@@ -214,7 +236,8 @@ class TestProtection:
 class TestLockInMemory:
     def test_lock_pins_pages(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         assert region.status().resident_pages == 2
         for offset in (0, PAGE):
@@ -223,7 +246,8 @@ class TestLockInMemory:
     def test_locked_region_never_faults(self, pvm, ctx, make_cache):
         """After lockInMemory, access proceeds without faults."""
         cache = make_cache()
-        region = ctx.region_create(0x10000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         faults_before = pvm.bus.stats.get("faults")
         pvm.user_write(ctx, 0x10000, b"realtime")
@@ -232,7 +256,8 @@ class TestLockInMemory:
 
     def test_unlock_unpins(self, pvm, ctx, make_cache):
         cache = make_cache()
-        region = ctx.region_create(0x10000, PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x10000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         region.unlock()
         assert not cache.pages[0].pinned

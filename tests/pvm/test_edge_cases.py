@@ -26,7 +26,8 @@ def make(pvm):
 class TestPartialProtectionCaps:
     def test_cap_applies_only_to_its_range(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         pvm.user_write(ctx, 0x40000, b"a")
         pvm.user_write(ctx, 0x40000 + PAGE, b"b")
         cache.set_protection(0, PAGE, Protection.READ)
@@ -36,7 +37,8 @@ class TestPartialProtectionCaps:
 
     def test_overlapping_cap_replaces(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         cache.set_protection(0, 2 * PAGE, Protection.READ)
         cache.set_protection(0, PAGE, Protection.RWX)
         pvm.user_write(ctx, 0x40000, b"ok now")
@@ -45,7 +47,8 @@ class TestPartialProtectionCaps:
 
     def test_read_cap_unmaps(self, pvm, ctx, make):
         cache = make(fill=1)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_read(ctx, 0x40000, 1)
         cache.set_protection(0, PAGE, Protection.NONE)
         assert pvm.mmu.lookup(ctx.space, 0x40000) is None
@@ -78,8 +81,8 @@ class TestMixedFragmentReads:
 class TestSplitInteractions:
     def test_split_of_locked_region_keeps_pins(self, pvm, ctx, make):
         cache = make()
-        region = ctx.region_create(0x40000, 4 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         upper = region.split(2 * PAGE)
         assert upper.locked
@@ -89,8 +92,8 @@ class TestSplitInteractions:
 
     def test_split_regions_unlock_independently(self, pvm, ctx, make):
         cache = make()
-        region = ctx.region_create(0x40000, 2 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         upper = region.split(PAGE)
         upper.unlock()
@@ -124,15 +127,19 @@ class TestAddressAllocation:
 
     def test_fills_gaps_between_regions(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(PAGE, PAGE, Protection.RW, cache, 0)
-        ctx.region_create(4 * PAGE, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(PAGE, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
+        ctx.region_create(4 * PAGE, PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         address = ctx.allocate_address(2 * PAGE)
         assert address == 2 * PAGE
 
     def test_skips_too_small_gaps(self, pvm, ctx, make):
         cache = make()
-        ctx.region_create(PAGE, PAGE, Protection.RW, cache, 0)
-        ctx.region_create(3 * PAGE, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(PAGE, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
+        ctx.region_create(3 * PAGE, PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         address = ctx.allocate_address(2 * PAGE)
         assert address >= 4 * PAGE
 

@@ -51,7 +51,8 @@ class TestFaultDispatch:
         """Fault offset = region offset + (addr - region start)."""
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, 4 * PAGE, Protection.RW, cache, 16 * PAGE)
+        ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=16 * PAGE)
         pvm.user_read(ctx, 0x40000 + 2 * PAGE + 100, 1)
         assert provider.pull_log == [(16 * PAGE + 2 * PAGE, PAGE,
                                       AccessMode.READ)]
@@ -59,7 +60,8 @@ class TestFaultDispatch:
     def test_resident_page_no_second_pull(self, pvm, ctx):
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_read(ctx, 0x40000, 1)
         pvm.user_read(ctx, 0x40010, 1)
         assert len(provider.pull_log) == 1
@@ -67,7 +69,8 @@ class TestFaultDispatch:
     def test_write_fault_pulls_with_write_mode(self, pvm, ctx):
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"w")
         assert provider.pull_log[0][2] is AccessMode.WRITE
 
@@ -75,7 +78,8 @@ class TestFaultDispatch:
         """Data pulled read-only needs a getWriteAccess upcall (Table 3)."""
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_read(ctx, 0x40000, 1)
         assert provider.write_access_log == []
         pvm.user_write(ctx, 0x40000, b"w")
@@ -83,7 +87,8 @@ class TestFaultDispatch:
 
     def test_fault_counters(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         before = pvm.clock.count(CostEvent.FAULT_DISPATCH)
         pvm.user_write(ctx, 0x40000, b"1")
         pvm.user_write(ctx, 0x40000 + PAGE, b"2")
@@ -92,15 +97,17 @@ class TestFaultDispatch:
 
     def test_zero_fill_content(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 64) == bytes(64)
 
     def test_sparse_region_only_touched_pages_resident(self, pvm, ctx,
                                                        make_cache):
         """Structures scale with touched pages, not region size (4.1)."""
         cache = make_cache()
-        region = ctx.region_create(0x40000, 128 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 128 * PAGE,
+                                   protection=Protection.RW, cache=cache,
+                                   offset=0)
         pvm.user_write(ctx, 0x40000 + 77 * PAGE, b"sparse")
         assert region.status().resident_pages == 1
         assert len(cache.pages) == 1
@@ -108,12 +115,14 @@ class TestFaultDispatch:
     def test_execute_only_region_readable_as_text(self, pvm, ctx, make_cache):
         cache = make_cache()
         cache.write(0, b"\x90\x90")
-        ctx.region_create(0x40000, PAGE, Protection.RX, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RX, cache=cache,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == b"\x90\x90"
 
     def test_write_to_rx_region_violates(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(0x40000, PAGE, Protection.RX, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RX, cache=cache,
+                          offset=0)
         with pytest.raises(AccessViolation):
             pvm.user_write(ctx, 0x40000, b"X")
 
@@ -123,7 +132,8 @@ class TestMultiContext:
         a = pvm.context_create("a")
         b = pvm.context_create("b")
         cache_a = make_cache()
-        a.region_create(0x40000, PAGE, Protection.RW, cache_a, 0)
+        a.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache_a,
+                        offset=0)
         pvm.user_write(a, 0x40000, b"private")
         with pytest.raises(SegmentationFault):
             pvm.user_read(b, 0x40000, 1)
@@ -133,8 +143,10 @@ class TestMultiContext:
         a = pvm.context_create("a")
         b = pvm.context_create("b")
         cache = make_cache()
-        a.region_create(0x40000, PAGE, Protection.RW, cache, 0)
-        b.region_create(0x90000, PAGE, Protection.RW, cache, 0)
+        a.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                        offset=0)
+        b.region_create(0x90000, PAGE, protection=Protection.RW, cache=cache,
+                        offset=0)
         pvm.user_write(a, 0x40000, b"both see")
         assert pvm.user_read(b, 0x90000, 8) == b"both see"
         # One physical frame serves both mappings.
@@ -146,7 +158,8 @@ class TestPushPullRoundtrip:
     def test_flush_then_refault(self, pvm, ctx):
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"persist me")
         cache.flush(0, PAGE)
         assert provider.push_log == [(0, PAGE)]
@@ -158,7 +171,8 @@ class TestPushPullRoundtrip:
     def test_sync_keeps_page(self, pvm, ctx):
         provider = RecordingProvider()
         cache = pvm.cache_create(provider)
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"synced")
         cache.sync(0, PAGE)
         assert provider.push_log == [(0, PAGE)]

@@ -75,7 +75,8 @@ class TestFigure3a:
         from repro.hardware.mmu import Prot
         pvm, make, src = rig
         ctx = pvm.context_create()
-        region = ctx.region_create(0x40000, 3 * PAGE, Protection.RW, src, 0)
+        region = ctx.region_create(0x40000, 3 * PAGE, protection=Protection.RW,
+                                   cache=src, offset=0)
         pvm.user_read(ctx, 0x40000, 1)     # map page 1
         cpy1 = make("cpy1")
         hist_copy(src, cpy1)
@@ -89,7 +90,8 @@ class TestFigure3a:
         from repro.gmi.types import Protection
         pvm, make, src = rig
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, 3 * PAGE, Protection.RW, src, 0)
+        ctx.region_create(0x40000, 3 * PAGE, protection=Protection.RW,
+                          cache=src, offset=0)
         pvm.user_read(ctx, 0x40000 + PAGE, 1)
         cpy1 = make("cpy1")
         hist_copy(src, cpy1)

@@ -106,8 +106,8 @@ class TestScalingProperty:
         ctx = vm.context_create()
         from repro.gmi.types import Protection
         # A 2 GB region over a (conceptually) huge segment...
-        ctx.region_create(0x10000000, (1 << 31), Protection.RW, cache,
-                          0)
+        ctx.region_create(0x10000000, (1 << 31), protection=Protection.RW,
+                          cache=cache, offset=0)
         assert len(vm.global_map) == 0
         # ...costs map entries only as pages are touched.
         for index in range(5):

@@ -42,7 +42,8 @@ class TestCopyOnReference:
         src.copy(0, dst, 0, 2 * PAGE, policy=CopyPolicy.HISTORY,
                  on_reference=True)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=dst, offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([20, 20])
         assert 0 in dst.pages
 

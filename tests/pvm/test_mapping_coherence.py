@@ -37,8 +37,10 @@ class TestCowResolutionShootdown:
         src.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
         a = pvm.context_create("a")
         b = pvm.context_create("b")
-        a.region_create(0x40000, PAGE, Protection.RW, dst, 0)
-        b.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        a.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                        offset=0)
+        b.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                        offset=0)
         # Both contexts read: both map src's frame read-only.
         assert pvm.user_read(a, 0x40000, 2) == bytes([9, 9])
         assert pvm.user_read(b, 0x40000, 2) == bytes([9, 9])
@@ -55,7 +57,8 @@ class TestCowResolutionShootdown:
         dst = make("dst")
         src.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([5, 5])
         dst.write(0, b"via explicit write")
         assert pvm.user_read(ctx, 0x40000, 18) == b"via explicit write"
@@ -65,7 +68,8 @@ class TestCowResolutionShootdown:
         dst = make("dst")
         src.copy(0, dst, 0, PAGE, policy=CopyPolicy.PER_PAGE)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([7, 7])
         dst.write(0, b"resolved")              # stub -> private page
         assert pvm.user_read(ctx, 0x40000, 8) == b"resolved"
@@ -81,7 +85,8 @@ class TestCopyOverShootdown:
         dst = make("dst")
         old.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([1, 1])
         new.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([50, 50])
@@ -90,7 +95,8 @@ class TestCopyOverShootdown:
         source = make("source", fill=30)
         dst = make("dst", fill=1)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([1, 1])
         source.move(0, dst, 0, PAGE)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([30, 30])

@@ -44,7 +44,8 @@ class TestReclaim:
         pvm = small_pvm
         ctx = pvm.context_create()
         cache = make_cache(pvm)
-        ctx.region_create(0x40000, 8 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 8 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         for page in range(8):
             pvm.user_write(ctx, 0x40000 + page * PAGE, bytes([page + 1]))
         other = make_cache(pvm)
@@ -76,7 +77,8 @@ class TestPinning:
         pvm = small_pvm
         ctx = pvm.context_create()
         cache = make_cache(pvm)
-        region = ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         pvm.user_write(ctx, 0x40000, b"pinned")
         region.lock_in_memory()
         pinned_frames = {page.frame for page in cache.pages.values()}
@@ -89,7 +91,8 @@ class TestPinning:
         pvm = small_pvm
         ctx = pvm.context_create()
         cache = make_cache(pvm)
-        region = ctx.region_create(0x40000, 8 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x40000, 8 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         other = make_cache(pvm)
         with pytest.raises(OutOfFrames):
@@ -99,7 +102,8 @@ class TestPinning:
         pvm = small_pvm
         ctx = pvm.context_create()
         cache = make_cache(pvm)
-        region = ctx.region_create(0x40000, 8 * PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x40000, 8 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         region.unlock()
         other = make_cache(pvm)

@@ -59,7 +59,8 @@ class TestStubPlacement:
         from repro.hardware.mmu import Prot
         src = make("src", fill=1)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, src, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=src, offset=0)
         pvm.user_write(ctx, 0x40000, b"touch")
         dst = make("dst")
         pp_copy(src, dst)
@@ -82,7 +83,8 @@ class TestReads:
         dst = make("dst")
         pp_copy(src, dst)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=dst, offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([5, 5])
         # Read mapped the source frame read-only; the stub remains.
         assert isinstance(pvm.global_map.lookup(dst, 0), CowStub)
@@ -104,7 +106,8 @@ class TestWriteResolution:
         dst = make("dst")
         pp_copy(src, dst)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=dst, offset=0)
         pvm.user_write(ctx, 0x40000, b"mapped write")
         assert src.read(0, 4) == bytes([5] * 4)
         assert pvm.user_read(ctx, 0x40000, 12) == b"mapped write"

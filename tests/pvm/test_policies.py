@@ -121,8 +121,8 @@ class TestPvmIntegration:
                                 replacement_policy=POLICIES[policy_name]())
         ctx = vm.context_create()
         cache = vm.cache_create(ZeroFillProvider())
-        region = ctx.region_create(0x40000, 2 * PAGE, Protection.RW,
-                                   cache, 0)
+        region = ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         frames = {page.frame for page in cache.pages.values()}
         other = vm.cache_create(ZeroFillProvider())

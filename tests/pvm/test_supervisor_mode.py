@@ -16,7 +16,8 @@ SYSTEM_RW = Protection.RW | Protection.SYSTEM
 @pytest.fixture
 def kernel_region(pvm, ctx, make_cache):
     cache = make_cache("kernel")
-    region = ctx.region_create(0x40000, 2 * PAGE, SYSTEM_RW, cache, 0)
+    region = ctx.region_create(0x40000, 2 * PAGE, protection=SYSTEM_RW,
+                               cache=cache, offset=0)
     return cache, region
 
 
@@ -44,7 +45,8 @@ class TestSupervisorRegions:
 
     def test_user_regions_unaffected(self, pvm, ctx, make_cache):
         cache = make_cache()
-        ctx.region_create(0x90000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x90000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         pvm.user_write(ctx, 0x90000, b"user ok")
         assert pvm.user_read(ctx, 0x90000, 7) == b"user ok"
 
@@ -53,8 +55,10 @@ class TestSupervisorRegions:
         classic kernel-mapped-high layout."""
         kernel = make_cache("k")
         user = make_cache("u")
-        ctx.region_create(0x7000000, PAGE, SYSTEM_RW, kernel, 0)
-        ctx.region_create(0x10000, PAGE, Protection.RW, user, 0)
+        ctx.region_create(0x7000000, PAGE, protection=SYSTEM_RW, cache=kernel,
+                          offset=0)
+        ctx.region_create(0x10000, PAGE, protection=Protection.RW, cache=user,
+                          offset=0)
         pvm.user_write(ctx, 0x7000000, b"secrets", supervisor=True)
         pvm.user_write(ctx, 0x10000, b"app")
         with pytest.raises(AccessViolation):
@@ -74,7 +78,8 @@ class TestSupervisorRegions:
         src.write(0, b"kernel image")
         dst = make_cache("kdst")
         src.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
-        ctx.region_create(0x40000, PAGE, SYSTEM_RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=SYSTEM_RW, cache=dst,
+                          offset=0)
         pvm.user_write(ctx, 0x40000, b"patched!", supervisor=True)
         assert src.read(0, 12) == b"kernel image"
         assert pvm.user_read(ctx, 0x40000, 8, supervisor=True) == \

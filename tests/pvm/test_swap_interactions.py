@@ -84,7 +84,8 @@ class TestMappedSwapRoundtrips:
     def test_mapped_page_survives_explicit_flush(self, pvm, ctx, make):
         from repro.gmi.types import Protection
         cache = make("seg")
-        ctx.region_create(0x40000, 2 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         pvm.user_write(ctx, 0x40000, b"mapped then flushed")
         cache.flush(0, PAGE)
         assert pvm.mmu.lookup(ctx.space, 0x40000) is None   # shot down
@@ -96,7 +97,8 @@ class TestMappedSwapRoundtrips:
         src = make("src", fill=60)
         dst = make("dst")
         src.copy(0, dst, 0, PAGE, policy=CopyPolicy.HISTORY)
-        ctx.region_create(0x40000, PAGE, Protection.RW, dst, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=dst,
+                          offset=0)
         assert pvm.user_read(ctx, 0x40000, 2) == bytes([60, 60])
         # Evict the source page that backs dst's mapping.
         src.flush(0, PAGE)

@@ -62,7 +62,8 @@ class TestAsyncPullIn:
         provider = SlowAsyncProvider()
         cache = pvm.cache_create(provider)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         start = time.monotonic()
         data = pvm.user_read(ctx, 0x40000, 4)
         elapsed = time.monotonic() - start
@@ -76,7 +77,8 @@ class TestAsyncPullIn:
         provider = SlowAsyncProvider(delay=0.1)
         cache = pvm.cache_create(provider)
         ctx = pvm.context_create()
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         results = []
 
         def reader():

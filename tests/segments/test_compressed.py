@@ -46,7 +46,8 @@ class TestRoundtrips:
         provider = CompressedSwapProvider()
         cache = vm.cache_create(provider)
         ctx = vm.context_create()
-        ctx.region_create(0x100000, 16 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x100000, 16 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         for index in range(16):
             vm.user_write(ctx, 0x100000 + index * PAGE,
                           f"page {index}".encode())

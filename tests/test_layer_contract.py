@@ -225,6 +225,41 @@ class TestDetectsViolations:
         })
         assert check_layers(tmp_path) == []
 
+    def test_pressure_policy_importing_cache_fails(self, tmp_path):
+        # Rule 8: the arbiter is called *up* into by the cache engine;
+        # importing cache objects back down would close a layer cycle.
+        _make_tree(tmp_path, {
+            "pressure/arbiter.py":
+                "from repro.cache.engine import CacheEngine\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.pressure.arbiter"
+        assert "repro.pressure decides over primitives" in violations[0][2]
+
+    def test_pressure_policy_importing_a_backend_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "pressure/balancer.py": "import repro.pvm.pvm\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.pressure.balancer"
+
+    def test_pressure_policy_importing_hardware_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "pressure/arbiter.py":
+                "from repro.hardware.physmem import PhysicalMemory\n",
+        })
+        violations = check_layers(tmp_path)
+        assert violations and violations[0][0] == "repro.pressure.arbiter"
+
+    def test_pressure_policy_may_import_obs_metrics(self, tmp_path):
+        # series_name keys the arbiter's labeled gauges; repro.obs
+        # stays legal for the policy layer (it is passive arithmetic).
+        _make_tree(tmp_path, {
+            "pressure/arbiter.py":
+                "from repro.obs.metrics import series_name\n",
+        })
+        assert check_layers(tmp_path) == []
+
     def test_cli_reports_failure(self, tmp_path, capsys):
         _make_tree(tmp_path, {
             "minimal/sneaky.py": "import repro.hardware.bus\n",

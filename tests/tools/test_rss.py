@@ -20,7 +20,8 @@ class TestResidency:
     def test_private_pages_counted_once(self, vm):
         ctx = vm.context_create("solo")
         cache = vm.cache_create(ZeroFillProvider())
-        ctx.region_create(0x40000, 4 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         vm.user_write(ctx, 0x40000, b"a")
         vm.user_write(ctx, 0x40000 + PAGE, b"b")
         report = residency_report(vm)[0]
@@ -33,7 +34,8 @@ class TestResidency:
         cache.write(0, b"x")
         contexts = [vm.context_create(f"c{i}") for i in range(2)]
         for ctx in contexts:
-            ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+            ctx.region_create(0x40000, PAGE, protection=Protection.RW,
+                              cache=cache, offset=0)
             vm.user_read(ctx, 0x40000, 1)
         reports = {r.name: r for r in residency_report(vm)}
         for name in ("c0", "c1"):
@@ -43,17 +45,19 @@ class TestResidency:
     def test_untouched_regions_are_free(self, vm):
         ctx = vm.context_create("lazy")
         cache = vm.cache_create(ZeroFillProvider())
-        ctx.region_create(0x40000, 128 * PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, 128 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         report = residency_report(vm)[0]
         assert report.rss_pages == 0
 
     def test_sorted_by_rss(self, vm):
         cache = vm.cache_create(ZeroFillProvider())
         big = vm.context_create("big")
-        big.region_create(0x40000, 4 * PAGE, Protection.RW, cache, 0)
+        big.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                          cache=cache, offset=0)
         small = vm.context_create("small")
-        small.region_create(0x40000, 4 * PAGE, Protection.RW, cache,
-                            4 * PAGE)
+        small.region_create(0x40000, 4 * PAGE, protection=Protection.RW,
+                            cache=cache, offset=4 * PAGE)
         for index in range(3):
             vm.user_write(big, 0x40000 + index * PAGE, b"x")
         vm.user_write(small, 0x40000, b"y")
@@ -63,7 +67,8 @@ class TestResidency:
     def test_format_contains_everything(self, vm):
         ctx = vm.context_create("fmt")
         cache = vm.cache_create(ZeroFillProvider(), name="seg")
-        ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        ctx.region_create(0x40000, PAGE, protection=Protection.RW, cache=cache,
+                          offset=0)
         vm.user_write(ctx, 0x40000, b"z")
         text = format_residency(vm)
         assert "fmt" in text and "seg" in text and "rss" in text

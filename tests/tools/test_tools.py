@@ -62,8 +62,8 @@ class TestRenderContext:
     def test_region_lines(self, vm):
         ctx = vm.context_create("demo")
         cache = vm.cache_create(ZeroFillProvider(), name="seg")
-        region = ctx.region_create(0x40000, 2 * PAGE, Protection.RW,
-                                   cache, PAGE)
+        region = ctx.region_create(0x40000, 2 * PAGE, protection=Protection.RW,
+                                   cache=cache, offset=PAGE)
         vm.user_write(ctx, 0x40000, b"x")
         text = render_context(ctx)
         assert "demo" in text
@@ -74,7 +74,8 @@ class TestRenderContext:
     def test_locked_marker(self, vm):
         ctx = vm.context_create()
         cache = vm.cache_create(ZeroFillProvider())
-        region = ctx.region_create(0x40000, PAGE, Protection.RW, cache, 0)
+        region = ctx.region_create(0x40000, PAGE, protection=Protection.RW,
+                                   cache=cache, offset=0)
         region.lock_in_memory()
         assert "LOCKED" in render_context(ctx)
 
