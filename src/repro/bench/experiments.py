@@ -164,3 +164,94 @@ def tenant_storm_ablation(backend: str = "pvm") -> Dict[str, Dict[str, float]]:
             "suspensions": float(counters.get("balancer.suspend", 0)),
         }
     return rows
+
+
+def trace_replay_ablation(system: str = "chorus",
+                          accesses: int = 1_000_000,
+                          pages: int = 512,
+                          tlb_entries: int = 64,
+                          ) -> Dict[str, Dict[str, float]]:
+    """The PR-10 vectorized-access-path ablation (EXPERIMENTS.md A13).
+
+    The same zipf trace replays three ways over a prewarmed *pages*-
+    page region: one access at a time through the scalar bus, and in
+    bulk through :class:`~repro.hardware.vbus.VectorBus` on each
+    available engine (``vectorized_numpy`` only when the ``fast``
+    extra is installed).  Wall time is measured with the metrics
+    registry paused and the garbage collector off — the bench
+    harness's timing discipline — and each row carries the virtual
+    time and fault count so the equality the parity property proves
+    is visible right in the table: the vectorized rows may only be
+    *faster*, never different.
+    """
+    import gc
+    import time
+
+    from repro.fastpath import numpy_available
+    from repro.hardware.vbus import VectorBus
+    from repro.workloads.tracecomp import zipf_columns
+    from repro.workloads.traces import zipf_trace
+
+    factory = NUCLEUS_FACTORIES[system]
+    scalar_trace = zipf_trace(pages, accesses, seed=11)
+    columns = {"vectorized_python": zipf_columns(pages, accesses,
+                                                 seed=11,
+                                                 use_numpy=False)}
+    variants = ["scalar", "vectorized_python"]
+    if numpy_available():
+        columns["vectorized_numpy"] = zipf_columns(pages, accesses,
+                                                   seed=11,
+                                                   use_numpy=True)
+        variants.append("vectorized_numpy")
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for variant in variants:
+        nucleus = factory(tlb_entries=tlb_entries)
+        vm = nucleus.vm
+        page_size = vm.page_size
+        actor = nucleus.create_actor("ablation")
+        nucleus.rgn_allocate(actor, pages * page_size,
+                             address=REGION_BASE)
+        for index in range(pages):
+            actor.write(REGION_BASE + index * page_size, b"\x01")
+        clock_before = nucleus.clock.now()
+        faults_before = vm.bus.stats.get("faults")
+        registry = vm.probe.registry
+        registry.enabled = False
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            if variant == "scalar":
+                write = actor.write
+                read = actor.read
+                for page, is_write in scalar_trace:
+                    address = REGION_BASE + page * page_size
+                    if is_write:
+                        write(address, b"\x01")
+                    else:
+                        read(address, 1)
+            else:
+                trace = columns[variant]
+                vbus = VectorBus(
+                    vm.bus,
+                    use_numpy=variant == "vectorized_numpy")
+                vbus.replay(actor.context.space, trace.pages,
+                            trace.writes,
+                            base_vpn=REGION_BASE // page_size)
+            wall_ms = (time.perf_counter() - start) * 1000.0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            registry.enabled = True
+        rows[variant] = {
+            "wall_ms": wall_ms,
+            "accesses_per_s": accesses * 1000.0 / wall_ms,
+            "virtual_ms": nucleus.clock.now() - clock_before,
+            "faults": float(vm.bus.stats.get("faults") - faults_before),
+        }
+    scalar_wall = rows["scalar"]["wall_ms"]
+    for variant in variants:
+        rows[variant]["speedup"] = scalar_wall / rows[variant]["wall_ms"]
+    return rows

@@ -1,0 +1,59 @@
+"""Optional-acceleration gate: numpy when available, stdlib otherwise.
+
+The reproduction has **zero runtime dependencies**; numpy is an
+opt-in accelerator (the ``fast`` extra in ``pyproject.toml``) used by
+the vectorized access path (:mod:`repro.hardware.vbus`) and the trace
+compiler (:mod:`repro.workloads.tracecomp`).  Everything it speeds up
+has a bit-identical ``array``/``bytearray`` fallback, so results never
+depend on whether numpy is installed — only wall time does.
+
+This module is the single place that decides whether numpy is used:
+
+* :func:`get_numpy` returns the module, or ``None`` when it is not
+  importable **or** the ``REPRO_NO_NUMPY`` environment variable is set
+  (non-empty).  The env override is how CI runs the parity suite in
+  its fallback leg on hosts that do have numpy installed.
+* Callers that want an explicit per-call override (tests mostly) take
+  a ``use_numpy`` keyword and fall back to this gate when it is None.
+
+Kept as a top-level leaf so any layer (hardware, workloads, bench) may
+import it without entangling the layer contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:                                         # pragma: no cover - trivial
+    import numpy as _numpy
+except ImportError:                          # pragma: no cover - env-specific
+    _numpy = None
+
+#: Environment variable forcing the stdlib fallback even when numpy is
+#: importable.  Read at call time, not import time, so one process can
+#: exercise both legs.
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+
+def numpy_available() -> bool:
+    """True when numpy is importable (ignoring the env override)."""
+    return _numpy is not None
+
+
+def get_numpy(use_numpy=None):
+    """The numpy module to accelerate with, or ``None`` for stdlib.
+
+    *use_numpy* overrides the gate: ``True`` demands numpy (raises
+    ``RuntimeError`` when unavailable), ``False`` forces the fallback,
+    ``None`` (default) auto-selects — numpy when importable and
+    ``REPRO_NO_NUMPY`` is unset.
+    """
+    if use_numpy is False:
+        return None
+    if use_numpy is True:
+        if _numpy is None:
+            raise RuntimeError("use_numpy=True but numpy is not installed")
+        return _numpy
+    if os.environ.get(NO_NUMPY_ENV):
+        return None
+    return _numpy

@@ -15,6 +15,7 @@ from repro.hardware.inverted_mmu import InvertedMMU
 from repro.hardware.segmented_mmu import SegmentedMMU
 from repro.hardware.tlb import TLB
 from repro.hardware.bus import MemoryBus
+from repro.hardware.vbus import VectorBus
 
 __all__ = [
     "PhysicalMemory",
@@ -26,4 +27,5 @@ __all__ = [
     "SegmentedMMU",
     "TLB",
     "MemoryBus",
+    "VectorBus",
 ]

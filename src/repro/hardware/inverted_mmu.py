@@ -19,6 +19,9 @@ class InvertedMMU(MMU):
 
     port_name = "inverted"
 
+    #: A walk is one hash probe, mapped or not.
+    walk_stats_mapped = ("hash_probe",)
+
     def __init__(self, page_size: int, tlb=None):
         super().__init__(page_size, tlb=tlb)
         self._entries: Dict[Tuple[int, int], Mapping] = {}
@@ -36,6 +39,10 @@ class InvertedMMU(MMU):
 
     def _entry(self, space: int, vpn: int) -> Optional[Mapping]:
         self.stats.add("hash_probe")
+        return self._entries.get((space, vpn))
+
+    def peek(self, space: int, vpn: int) -> Optional[Mapping]:
+        """Stat-free probe: one hash lookup, no ``hash_probe`` charge."""
         return self._entries.get((space, vpn))
 
     def _set_entry(self, space: int, vpn: int, mapping: Mapping) -> None:

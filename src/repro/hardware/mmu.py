@@ -98,6 +98,12 @@ class MMU:
     #: Human-readable port name, e.g. ``"paged"`` or ``"inverted"``.
     port_name = "abstract"
 
+    #: The walk statistics ``_entry`` charges when the vpn is *mapped*
+    #: — constant per port organisation, which lets the vectorized bus
+    #: charge ``misses x each`` in aggregate instead of walking per
+    #: access.  Ports that override :meth:`peek` must define it.
+    walk_stats_mapped: Optional[Tuple[str, ...]] = None
+
     def __init__(self, page_size: int, tlb=None):
         if not is_power_of_two(page_size):
             raise InvalidOperation(f"page size {page_size} not a power of two")
@@ -303,6 +309,22 @@ class MMU:
         """Return the mapping of the page of *vaddr*, if any (no fault)."""
         self._check_space(space)
         return self._entry(space, self.vpn(vaddr))
+
+    def peek(self, space: int, vpn: int) -> Optional[Mapping]:
+        """Statistic-free translation probe: the :class:`Mapping` of
+        *vpn* in *space*, or None when unmapped.
+
+        Unlike ``_entry`` this charges **no** walk statistics and moves
+        no TLB state — it answers "what would a table walk find?"
+        without simulating one.  The vectorized bus
+        (:mod:`repro.hardware.vbus`) classifies whole batches with it
+        and then replays the *observable* walk/TLB accounting exactly;
+        any port that wants the vectorized path must override it (the
+        three in-tree ports do).
+        """
+        raise NotImplementedError(
+            f"MMU port {self.port_name!r} does not implement peek(); "
+            "the vectorized bus path requires it")
 
     def mapped_pages(self, space: int) -> List[Tuple[int, Mapping]]:
         """All (vpn, mapping) pairs of *space*, unordered."""

@@ -41,6 +41,10 @@ class PagedMMU(MMU):
 
     port_name = "paged"
 
+    #: A walk of a mapped vpn always charges both levels: a mapped
+    #: page implies its directory bucket is occupied.
+    walk_stats_mapped = ("walk_level1", "walk_level2")
+
     def __init__(self, page_size: int, tlb=None):
         super().__init__(page_size, tlb=tlb)
         # space -> run-length page table (vpn -> (frame, prot)).
@@ -109,6 +113,14 @@ class PagedMMU(MMU):
         if (vpn >> TABLE_BITS) not in self._buckets[space]:
             return None
         self.stats.add("walk_level2")
+        hit = self._tables[space].get(vpn)
+        if hit is None:
+            return None
+        frame, prot = hit
+        return Mapping(frame, prot)
+
+    def peek(self, space: int, vpn: int) -> Optional[Mapping]:
+        """Stat-free probe: straight run-map lookup, no walk charges."""
         hit = self._tables[space].get(vpn)
         if hit is None:
             return None

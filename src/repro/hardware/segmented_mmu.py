@@ -49,6 +49,11 @@ class SegmentedMMU(MMU):
 
     port_name = "segmented"
 
+    #: A walk of a mapped vpn charges the descriptor check and the
+    #: page-table lookup: mapped implies within limit with a live
+    #: second-level table.
+    walk_stats_mapped = ("descriptor_check", "page_walk")
+
     def __init__(self, page_size: int, tlb=None,
                  segment_limit: int = FLAT_LIMIT):
         super().__init__(page_size, tlb=tlb)
@@ -92,6 +97,18 @@ class SegmentedMMU(MMU):
             return None
         self.stats.add("page_walk")
         return table.get(lo)
+
+    def peek(self, space: int, vpn: int) -> Optional[Mapping]:
+        """Stat-free probe: limit check and directory lookup without
+        the ``descriptor_check`` / ``page_walk`` charges."""
+        descriptor = self._descriptors[space]
+        if vpn << self._page_shift >= descriptor.limit:
+            return None
+        lvpn = (descriptor.base >> self._page_shift) + vpn
+        table = self._directories[space].get(lvpn >> TABLE_BITS)
+        if table is None:
+            return None
+        return table.get(lvpn & TABLE_MASK)
 
     def _set_entry(self, space: int, vpn: int, mapping: Mapping) -> None:
         if vpn << self._page_shift >= self._descriptors[space].limit:

@@ -105,6 +105,124 @@ class TLB:
         for vpn, mapping in entries:
             self.fill(space, vpn, mapping)
 
+    def access_run(self, space: int, vpns: Iterable[int], walk,
+                   base: int = 0) -> int:
+        """Replay the probe/fill sequence of ``MMU.translate`` for a
+        run of same-space *vpns* (each offset by *base*) known to be
+        mapped; returns the number of TLB misses (table walks
+        performed).
+
+        This is the vectorized bus's TLB leg: for every vpn it performs
+        exactly the state transitions :meth:`probe` (+ :meth:`fill` on
+        a miss) would — LRU reordering, lazy stale reaping, run-entry
+        probing, capacity eviction — with the fill inlined (the key is
+        known absent at fill time: a hit was taken or the stale entry
+        reaped) and the hit/run_hit/miss/evict counters batched into at
+        most four adds.  *walk* is called on each miss with the vpn and
+        must return the :class:`Mapping` a table walk finds; it must be
+        statistic-free — the caller charges the port's per-miss walk
+        statistics in aggregate from the returned miss count (constant
+        per port for a mapped vpn; see ``MMU.walk_stats_mapped``).
+
+        Counter totals, entry order and occupancy are bit-identical to
+        a per-vpn ``probe``/``fill`` loop; only the number of registry
+        increments differs.
+        """
+        gen = self._space_gen.get(space, 0)
+        space_gen_get = self._space_gen.get
+        entries = self._entries
+        entries_get = entries.get
+        move_to_end = entries.move_to_end
+        popitem = entries.popitem
+        space_keys = self._space_keys
+        keys_add = space_keys.setdefault(space, set()).add
+        probe_runs = self._probe_runs
+        have_runs = bool(self._runs)
+        capacity = self.capacity
+        live = self._live
+        if base:
+            vpns = [vpn + base for vpn in vpns]
+        hits = run_hits = misses = evicts = 0
+        try:
+            for vpn in vpns:
+                key = (space, vpn)
+                entry = entries_get(key)
+                if entry is not None:
+                    if entry[1] == gen:
+                        move_to_end(key)
+                        hits += 1
+                        continue
+                    # Stale: the eager TLB would already have dropped it.
+                    del entries[key]
+                if have_runs and probe_runs(space, vpn) is not None:
+                    hits += 1
+                    run_hits += 1
+                    continue
+                misses += 1
+                # Inlined fill() fresh-install branch (the key is known
+                # absent here): evict the LRU live entry when full,
+                # shedding stale ones silently on the way.
+                if live >= capacity:
+                    while entries:
+                        old_key, (_, old_gen) = popitem(last=False)
+                        if old_gen == space_gen_get(old_key[0], 0):
+                            space_keys[old_key[0]].discard(old_key)
+                            live -= 1
+                            evicts += 1
+                            break
+                keys_add(key)
+                live += 1
+                entries[key] = (walk(vpn), gen)
+        finally:
+            self._live = live
+            # Guarded adds: a counter the scalar loop never created
+            # must not appear here as a zero-valued series.
+            if hits:
+                self.stats.add("hit", hits)
+            if run_hits:
+                self.stats.add("run_hit", run_hits)
+            if misses:
+                self.stats.add("miss", misses)
+            if evicts:
+                self.stats.add("evict", evicts)
+        return misses
+
+    def retire_run(self, space: int, vpns, walk, base: int = 0) -> int:
+        """Bulk-retire a run of same-space mapped accesses (page
+        numbers offset by *base*); returns the number of TLB misses.
+
+        Fast path: when every distinct page of the run is already a
+        *live* entry (the common steady state), no access can miss, so
+        the per-access replay collapses to its final effect — each
+        touched entry moves to most-recently-used position in order of
+        its **last** access (untouched entries keep their relative
+        order below them, exactly as repeated ``move_to_end`` leaves
+        them) and the hit counter moves once.  That retires an
+        arbitrarily long run in O(distinct pages).  The residency scan
+        aborts at the first non-resident page and defers to
+        :meth:`access_run`, so a thrashing run pays almost nothing for
+        the attempt.
+        """
+        keys = self._space_keys.get(space)
+        if keys:
+            seen: Set[int] = set()
+            seen_add = seen.add
+            order_rev: List[int] = []
+            append = order_rev.append
+            for vpn in reversed(vpns):
+                if vpn not in seen:
+                    if (space, vpn + base) not in keys:
+                        return self.access_run(space, vpns, walk, base)
+                    seen_add(vpn)
+                    append(vpn)
+            move_to_end = self._entries.move_to_end
+            for vpn in reversed(order_rev):
+                move_to_end((space, vpn + base))
+            if len(vpns):
+                self.stats.add("hit", len(vpns))
+            return 0
+        return self.access_run(space, vpns, walk, base)
+
     def _track_live(self, space: int, key: Tuple[int, int]) -> None:
         self._space_keys.setdefault(space, set()).add(key)
         self._live += 1

@@ -53,7 +53,8 @@ SNAPSHOT_SCHEMA = {
             # queue counters (read / write per priority, coalesced /
             # forced / stall) and the pressure board's per-space
             # ledgers (``space.*{space=N}`` plus rollups) — plus their
-            # labeled series.
+            # labeled series.  ``vbus.*`` counts the vectorized access
+            # path's batches and fast/fallback split.
             "patternProperties": {
                 r"^engine\.stage\.": {"type": "integer", "minimum": 0},
                 r"^engine\.cluster\.": {"type": "integer", "minimum": 0},
@@ -62,6 +63,7 @@ SNAPSHOT_SCHEMA = {
                 r"^space\.": {"type": "integer", "minimum": 0},
                 r"^balancer\.": {"type": "integer", "minimum": 0},
                 r"^throttle\.": {"type": "integer", "minimum": 0},
+                r"^vbus\.": {"type": "integer", "minimum": 0},
             },
             "additionalProperties": {"type": "integer", "minimum": 0},
         },
@@ -69,8 +71,10 @@ SNAPSHOT_SCHEMA = {
             "type": "object",
             # PSI stall fractions are ratios in [0, 1]; the remaining
             # psi.* and space.* gauges (totals, counts, residency) are
-            # non-negative scalars.
+            # non-negative scalars.  ``trace.*`` records the last
+            # trace replay's access count.
             "patternProperties": {
+                r"^trace\.": {"type": "number", "minimum": 0},
                 r"^psi\.memory\.(some|full)\.avg": {
                     "type": "number", "minimum": 0,
                 },

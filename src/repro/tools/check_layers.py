@@ -7,7 +7,7 @@ The reproduction's layering (docs/ARCHITECTURE.md) is::
     repro.pvm.hw_interface       machine-dependent layer
     repro.hardware               MMU ports, TLB, bus, physical memory
 
-Eight rules keep the stack honest — the same discipline the paper's
+Nine rules keep the stack honest — the same discipline the paper's
 "hardware-independent interface" (section 4) imposes on the real PVM:
 
 1. **Backends stay off the hardware.**  Modules under ``repro.pvm``,
@@ -53,6 +53,14 @@ Eight rules keep the stack honest — the same discipline the paper's
    *up* into the arbiter with space ids and page counts, and the
    balancer drives reclaim through the duck-typed ``vm`` handle — so
    the policy layer stays swappable over any manager.
+9. **Hardware is the bottom.**  Modules under ``repro.hardware``
+   (the MMU ports, TLB, buses — including the vectorized
+   ``repro.hardware.vbus``) may import ``repro.*`` only from the
+   leaf/utility set: ``repro.hardware`` itself, ``repro.errors``,
+   ``repro.units``, ``repro.kernel``, ``repro.extents`` and
+   ``repro.fastpath``.  In particular no backend, engine, cache or
+   observability import — the vectorized access path accelerates the
+   hardware walk, it must not know who manages the pages.
 
 The check is static (``ast`` on the source tree, no imports executed)
 so a violation is caught even in modules no test happens to load.
@@ -102,6 +110,11 @@ PRESSURE_MODULE = "repro.obs.pressure"
 POLICY_PACKAGE = "repro.pressure"
 
 POLICY_FORBIDDEN = BACKEND_PACKAGES + ("repro.hardware", "repro.cache")
+
+#: the only repro.* prefixes hardware modules may import (rule 9):
+#: the hardware package itself plus the leaf/utility layers.
+HARDWARE_ALLOWED = ("repro.hardware", "repro.errors", "repro.units",
+                    "repro.kernel", "repro.extents", "repro.fastpath")
 
 
 def _module_name(path: pathlib.Path, src_root: pathlib.Path) -> str:
@@ -220,6 +233,18 @@ def check_layers(src_root) -> List[Tuple[str, str, str]]:
                         module, imported,
                         "repro.extents is a leaf: it must not import "
                         "backends, hardware or the cache subsystem",
+                    ))
+        if _under(module, "repro.hardware"):
+            for imported in imports:
+                if _under(imported, "repro") and \
+                        not any(_under(imported, allowed)
+                                for allowed in HARDWARE_ALLOWED):
+                    violations.append((
+                        module, imported,
+                        "hardware is the bottom of the stack: it may "
+                        "import only repro.hardware, repro.errors, "
+                        "repro.units, repro.kernel, repro.extents and "
+                        "repro.fastpath",
                     ))
         if _under(module, "repro.segments"):
             for imported in imports:

@@ -385,8 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record and/or compare flight-recorder runs")
     bench.add_argument("--record", action="store_true",
                        help="run the suite and write the result document")
-    bench.add_argument("--out", default="BENCH_9.json", metavar="FILE",
-                       help="where --record writes (default: BENCH_9.json)")
+    bench.add_argument("--out", default="BENCH_10.json", metavar="FILE",
+                       help="where --record writes (default: BENCH_10.json)")
     bench.add_argument("--cluster", default="adaptive",
                        choices=("off", "fixed", "adaptive"),
                        help="fault-clustering (read-ahead) policy for "

@@ -6,6 +6,10 @@ from repro.workloads.ipc_workload import message_sweep
 from repro.workloads.traces import (
     loop_trace, phase_trace, replay, uniform_trace, zipf_trace,
 )
+from repro.workloads.tracecomp import (
+    CompiledTrace, compile_trace, load_trace, loop_columns,
+    phase_columns, save_trace, uniform_columns, zipf_columns,
+)
 
 __all__ = [
     "fork_exit_chain",
@@ -17,4 +21,12 @@ __all__ = [
     "loop_trace",
     "phase_trace",
     "replay",
+    "CompiledTrace",
+    "compile_trace",
+    "save_trace",
+    "load_trace",
+    "uniform_columns",
+    "zipf_columns",
+    "loop_columns",
+    "phase_columns",
 ]

@@ -1,0 +1,288 @@
+"""Trace compiler: columnar access traces and the ``.vmtrace`` format.
+
+The scalar trace representation — a Python list of ``(page, is_write)``
+tuples — costs ~100 bytes per access and forces the replay loop to
+unpack boxed objects one at a time.  This module *compiles* a trace
+into parallel column arrays:
+
+``pages``
+    page index per access — ``array('q')`` (or ``numpy.int64``),
+``writes``
+    write flag per access — ``bytearray`` of 0/1 (or ``numpy.uint8``),
+``spaces``
+    optional hardware space id per access (``None`` for the common
+    single-space trace).
+
+Nine bytes per access, cache-friendly, and directly consumable by
+:class:`~repro.hardware.vbus.VectorBus` which classifies whole columns
+at once.  When numpy is importable (the ``fast`` extra) the columns
+are ndarrays; otherwise the stdlib fallback is used — same trace
+content either way, byte-for-byte (see :mod:`repro.fastpath` for the
+gate, including the ``REPRO_NO_NUMPY`` override).
+
+The columnar *generators* (``zipf_columns`` et al.) produce exactly
+the access sequence of their scalar twins in
+:mod:`repro.workloads.traces` for the same seed — they draw from the
+same ``random.Random`` stream in the same order, only skipping the
+intermediate tuple list.
+
+``save_trace`` / ``load_trace`` implement the compact on-disk
+``.vmtrace`` format: a 16-byte versioned header followed by the raw
+little-endian column blobs.  A 10⁷-access trace is ~90 MB as a tuple
+list and ~86 KB/10⁶ … i.e. 9 bytes/access on disk.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from struct import Struct
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidOperation
+from repro.fastpath import get_numpy
+
+Access = Tuple[int, bool]
+
+#: ``.vmtrace`` header: magic, version, flags, reserved, access count.
+MAGIC = b"VMTR"
+VERSION = 1
+_HEADER = Struct("<4sBBHQ")
+_FLAG_SPACES = 0x01
+
+
+@dataclass(eq=False)
+class CompiledTrace:
+    """Columnar trace: parallel ``pages``/``writes`` (and optionally
+    ``spaces``) columns plus the backend tag (``"numpy"`` or
+    ``"python"``).  Iterating yields scalar ``(page, is_write)``
+    accesses, so a compiled trace can stand in anywhere a scalar trace
+    is accepted (e.g. non-vectorized ``replay()``)."""
+
+    pages: object
+    writes: object
+    spaces: object = None
+    backend: str = "python"
+
+    def __post_init__(self):
+        if len(self.writes) != len(self.pages):
+            raise InvalidOperation(
+                f"column length mismatch: {len(self.pages)} pages, "
+                f"{len(self.writes)} writes")
+        if self.spaces is not None \
+                and len(self.spaces) != len(self.pages):
+            raise InvalidOperation(
+                f"column length mismatch: {len(self.pages)} pages, "
+                f"{len(self.spaces)} spaces")
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self) -> Iterator[Access]:
+        for page, flag in zip(self.pages, self.writes):
+            yield int(page), bool(flag)
+
+    def to_accesses(self) -> List[Access]:
+        """The scalar twin: a plain list of ``(page, is_write)``."""
+        return list(self)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the columns (the ``.vmtrace`` body size)."""
+        per = 9 if self.spaces is None else 17
+        return per * len(self)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def _wrap(pages: array, writes: bytearray, spaces: Optional[array],
+          use_numpy: Optional[bool]) -> CompiledTrace:
+    """Package stdlib columns, promoting to numpy when gated in."""
+    np = get_numpy(use_numpy)
+    if np is None:
+        return CompiledTrace(pages, writes, spaces, backend="python")
+    return CompiledTrace(
+        np.array(pages, dtype=np.int64),
+        np.array(writes, dtype=np.uint8),
+        None if spaces is None else np.array(spaces, dtype=np.int64),
+        backend="numpy")
+
+
+def compile_trace(trace: Iterable[Access],
+                  use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Lower a scalar ``(page, is_write)`` sequence into columns."""
+    pages = array("q")
+    writes = bytearray()
+    for page, is_write in trace:
+        pages.append(page)
+        writes.append(1 if is_write else 0)
+    return _wrap(pages, writes, None, use_numpy)
+
+
+# ---------------------------------------------------------------------------
+# Columnar generators (seed-compatible with repro.workloads.traces)
+# ---------------------------------------------------------------------------
+
+def uniform_columns(pages: int, length: int, write_ratio: float = 0.3,
+                    seed: int = 1,
+                    use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Columnar twin of :func:`~repro.workloads.traces.uniform_trace`."""
+    rng = random.Random(seed)
+    randrange, rand = rng.randrange, rng.random
+    page_col = array("q")
+    write_col = bytearray()
+    for _ in range(length):
+        page_col.append(randrange(pages))
+        write_col.append(1 if rand() < write_ratio else 0)
+    return _wrap(page_col, write_col, None, use_numpy)
+
+
+def zipf_columns(pages: int, length: int, skew: float = 1.2,
+                 write_ratio: float = 0.3, seed: int = 1,
+                 use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Columnar twin of :func:`~repro.workloads.traces.zipf_trace`."""
+    rng = random.Random(seed)
+    rand = rng.random
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(pages)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    page_col = array("q")
+    write_col = bytearray()
+    last = pages - 1
+    for _ in range(length):
+        page_col.append(min(bisect_left(cumulative, rand()), last))
+        write_col.append(1 if rand() < write_ratio else 0)
+    return _wrap(page_col, write_col, None, use_numpy)
+
+
+def loop_columns(pages: int, length: int, write_ratio: float = 0.0,
+                 seed: int = 1,
+                 use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Columnar twin of :func:`~repro.workloads.traces.loop_trace`."""
+    rng = random.Random(seed)
+    rand = rng.random
+    page_col = array("q")
+    write_col = bytearray()
+    for index in range(length):
+        page_col.append(index % pages)
+        write_col.append(1 if rand() < write_ratio else 0)
+    return _wrap(page_col, write_col, None, use_numpy)
+
+
+def phase_columns(pages: int, length: int, phases: int = 4,
+                  locality: int = 8, write_ratio: float = 0.3,
+                  seed: int = 1,
+                  use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Columnar twin of :func:`~repro.workloads.traces.phase_trace`."""
+    rng = random.Random(seed)
+    randrange, rand = rng.randrange, rng.random
+    page_col = array("q")
+    write_col = bytearray()
+    per_phase = max(1, length // phases)
+    last = pages - 1
+    for _ in range(phases):
+        base = randrange(max(1, pages - locality))
+        for _ in range(per_phase):
+            page_col.append(min(base + randrange(locality), last))
+            write_col.append(1 if rand() < write_ratio else 0)
+    del page_col[length:]
+    del write_col[length:]
+    return _wrap(page_col, write_col, None, use_numpy)
+
+
+# ---------------------------------------------------------------------------
+# The .vmtrace on-disk format
+# ---------------------------------------------------------------------------
+
+def _column_bytes(column, kind: str) -> bytes:
+    """Little-endian raw bytes of a column (i64 pages/spaces, u8
+    writes), whatever backend holds it."""
+    if kind == "u8":
+        if isinstance(column, (bytes, bytearray)):
+            return bytes(column)
+        return column.astype("<u1").tobytes()  # numpy
+    if isinstance(column, array):
+        if sys.byteorder == "little":
+            return column.tobytes()
+        swapped = array("q", column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.astype("<i8").tobytes()  # numpy
+
+
+def save_trace(trace, path: str) -> int:
+    """Write *trace* (compiled or scalar) as ``.vmtrace``; returns the
+    file size in bytes."""
+    if not isinstance(trace, CompiledTrace):
+        trace = compile_trace(trace)
+    count = len(trace)
+    flags = _FLAG_SPACES if trace.spaces is not None else 0
+    header = _HEADER.pack(MAGIC, VERSION, flags, 0, count)
+    body = [
+        _column_bytes(trace.pages, "i64"),
+        _column_bytes(trace.writes, "u8"),
+    ]
+    if trace.spaces is not None:
+        body.append(_column_bytes(trace.spaces, "i64"))
+    with open(path, "wb") as sink:
+        sink.write(header)
+        for blob in body:
+            sink.write(blob)
+    return len(header) + sum(len(blob) for blob in body)
+
+
+def _read_exact(source, size: int, what: str) -> bytes:
+    blob = source.read(size)
+    if len(blob) != size:
+        raise InvalidOperation(
+            f"truncated .vmtrace: wanted {size} bytes of {what}, "
+            f"got {len(blob)}")
+    return blob
+
+
+def load_trace(path: str,
+               use_numpy: Optional[bool] = None) -> CompiledTrace:
+    """Load a ``.vmtrace`` file back into a :class:`CompiledTrace`."""
+    with open(path, "rb") as source:
+        header = _read_exact(source, _HEADER.size, "header")
+        magic, version, flags, _, count = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise InvalidOperation(
+                f"not a .vmtrace file: bad magic {magic!r}")
+        if version != VERSION:
+            raise InvalidOperation(
+                f"unsupported .vmtrace version {version} "
+                f"(this build reads version {VERSION})")
+        page_blob = _read_exact(source, count * 8, "pages")
+        write_blob = _read_exact(source, count, "writes")
+        space_blob = (_read_exact(source, count * 8, "spaces")
+                      if flags & _FLAG_SPACES else None)
+    np = get_numpy(use_numpy)
+    if np is not None:
+        return CompiledTrace(
+            np.frombuffer(page_blob, dtype="<i8").astype(np.int64),
+            np.frombuffer(write_blob, dtype=np.uint8).copy(),
+            None if space_blob is None else
+            np.frombuffer(space_blob, dtype="<i8").astype(np.int64),
+            backend="numpy")
+    page_col = array("q")
+    page_col.frombytes(page_blob)
+    space_col = None
+    if space_blob is not None:
+        space_col = array("q")
+        space_col.frombytes(space_blob)
+    if sys.byteorder != "little":
+        page_col.byteswap()
+        if space_col is not None:
+            space_col.byteswap()
+    return CompiledTrace(page_col, bytearray(write_blob), space_col,
+                         backend="python")

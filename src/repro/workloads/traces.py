@@ -14,9 +14,11 @@ keeps around).
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.errors import InvalidOperation
 from repro.gmi.types import Protection
 from repro.kernel.clock import ClockRegion
 
@@ -47,18 +49,14 @@ def zipf_trace(pages: int, length: int, skew: float = 1.2,
         running += weight / total
         cumulative.append(running)
 
-    def pick() -> int:
-        needle = rng.random()
-        lo, hi = 0, pages - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if cumulative[mid] < needle:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
-
-    return [(pick(), rng.random() < write_ratio) for _ in range(length)]
+    # bisect_left is the C-speed twin of the hand-rolled binary search
+    # this generator used to carry: both return the first rank whose
+    # cumulative weight reaches the needle (clamped to the last page
+    # for the float-rounding case where no rank does), so the access
+    # sequence per seed is unchanged.
+    last = pages - 1
+    return [(min(bisect_left(cumulative, rng.random()), last),
+             rng.random() < write_ratio) for _ in range(length)]
 
 
 def loop_trace(pages: int, length: int, write_ratio: float = 0.0,
@@ -105,11 +103,21 @@ class ReplayResult:
 
 
 def replay(nucleus, trace: Iterable[Access], pages: int,
-           base: int = 0x100000, prewarm: bool = False) -> ReplayResult:
+           base: int = 0x100000, prewarm: bool = False,
+           vectorized: bool = False,
+           use_numpy: Optional[bool] = None) -> ReplayResult:
     """Drive *trace* through a mapped region on *nucleus*.
 
     With ``prewarm`` every page is touched once first, so the measured
     run isolates steady-state (capacity) faulting from cold-start.
+
+    With ``vectorized`` the trace is compiled to columns (unless it
+    already is a :class:`~repro.workloads.tracecomp.CompiledTrace`)
+    and replayed through :class:`~repro.hardware.vbus.VectorBus`:
+    hits retire in bulk, faults run through the unchanged scalar
+    engine, and every observable — fault sequence, counters, virtual
+    time, memory bytes — matches the scalar loop bit for bit.
+    ``use_numpy`` overrides the :mod:`repro.fastpath` gate.
     """
     vm = nucleus.vm
     page_size = vm.page_size
@@ -120,18 +128,36 @@ def replay(nucleus, trace: Iterable[Access], pages: int,
         for index in range(pages):
             actor.write(base + index * page_size, bytes([index % 251 + 1]))
 
+    registry = getattr(getattr(vm, "probe", None), "registry", None)
     faults_before = vm.bus.stats.get("faults")
     counters = vm.clock.snapshot()
     count = 0
-    with ClockRegion(vm.clock) as timer:
-        for page, is_write in trace:
-            address = base + page * page_size
-            if is_write:
-                actor.write(address, b"\x01")
-            else:
-                actor.read(address, 1)
-            count += 1
+    if vectorized:
+        from repro.hardware.vbus import VectorBus
+        from repro.workloads.tracecomp import CompiledTrace, compile_trace
+        if base % page_size:
+            raise InvalidOperation(
+                f"vectorized replay needs a page-aligned base, "
+                f"got {base:#x}")
+        compiled = trace if isinstance(trace, CompiledTrace) \
+            else compile_trace(trace, use_numpy=use_numpy)
+        vbus = VectorBus(vm.bus, registry=registry, use_numpy=use_numpy)
+        with ClockRegion(vm.clock) as timer:
+            count = vbus.replay(actor.context.space, compiled.pages,
+                                compiled.writes,
+                                base_vpn=base // page_size)
+    else:
+        with ClockRegion(vm.clock) as timer:
+            for page, is_write in trace:
+                address = base + page * page_size
+                if is_write:
+                    actor.write(address, b"\x01")
+                else:
+                    actor.read(address, 1)
+                count += 1
     after = vm.clock.snapshot()
+    if registry is not None:
+        registry.set_gauge("trace.accesses", float(count))
     result = ReplayResult(
         accesses=count,
         faults=vm.bus.stats.get("faults") - faults_before,

@@ -4,9 +4,10 @@ import pytest
 
 from repro.bench.experiments import (
     cow_table, derived_metrics, run_cow_cell, run_zero_fill_cell,
-    zero_fill_table,
+    trace_replay_ablation, zero_fill_table,
 )
 from repro.bench.tables import REGION_SIZES_KB, TOUCH_COUNTS, cell_valid
+from repro.fastpath import numpy_available
 
 
 class TestDeterminism:
@@ -51,6 +52,39 @@ class TestMonotonicity:
         for pages in (0, 1):
             assert grid[(8, pages)] <= grid[(256, pages)] \
                 <= grid[(1024, pages)]
+
+
+class TestTraceReplayAblation:
+    """A13's runner, at toy scale: structure, not throughput."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return trace_replay_ablation(accesses=4000, pages=32,
+                                     tlb_entries=16)
+
+    def test_covers_every_available_engine(self, rows):
+        expected = {"scalar", "vectorized_python"}
+        if numpy_available():
+            expected.add("vectorized_numpy")
+        assert set(rows) == expected
+
+    def test_vectorized_rows_only_differ_in_wall_time(self, rows):
+        # The parity property guarantees observational equivalence;
+        # the ablation table must show it: identical virtual time and
+        # fault count, only the wall clock moves.
+        scalar = rows["scalar"]
+        for name, row in rows.items():
+            assert row["virtual_ms"] == scalar["virtual_ms"], name
+            assert row["faults"] == scalar["faults"], name
+
+    def test_rates_and_speedups_are_derived(self, rows):
+        assert rows["scalar"]["speedup"] == 1.0
+        for row in rows.values():
+            assert row["wall_ms"] > 0
+            assert row["accesses_per_s"] == pytest.approx(
+                4000 * 1000.0 / row["wall_ms"])
+            assert row["speedup"] == pytest.approx(
+                rows["scalar"]["wall_ms"] / row["wall_ms"])
 
 
 class TestDerivedFormulaConsistency:

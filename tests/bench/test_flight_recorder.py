@@ -80,6 +80,47 @@ class TestSuite:
             run_workload(WORKLOADS["dsm_ping_pong"], "minimal")
 
 
+class TestTraceReplayCells:
+    @pytest.fixture(scope="class")
+    def trace_cell(self):
+        return run_workload(WORKLOADS["trace_replay_zipf"], "pvm",
+                            repeats=1)
+
+    def test_cell_records_the_access_gauge(self, trace_cell):
+        from repro.bench.harness import TRACE_REPLAY_ACCESSES
+        gauges = trace_cell["metrics"]["gauges"]
+        assert gauges["trace.accesses"] == float(TRACE_REPLAY_ACCESSES)
+        counters = trace_cell["metrics"]["counters"]
+        assert counters["vbus.replays"] == 1
+        # Prewarmed region, enough frames: every access is a hit.
+        assert counters["vbus.fast"] == TRACE_REPLAY_ACCESSES
+
+    def test_prewarmed_replay_has_zero_virtual_cost(self, trace_cell):
+        # All pages resident before the body runs, so no faults —
+        # and translation is free on the virtual clock.
+        assert trace_cell["virtual_ms"] == 0.0
+
+    def test_compare_derives_accesses_per_second(self, trace_cell):
+        document = {"meta": {"version": 1, "repeats": 1},
+                    "results": [trace_cell]}
+        report = compare(document, document)
+        row = report["rows"][0]
+        expected = 1_000_000 * 1000.0 / trace_cell["wall_ms"]
+        assert row["accesses_per_s"] == pytest.approx(expected)
+        assert row["baseline_accesses_per_s"] == \
+            pytest.approx(expected)
+        rendered = format_compare(report)
+        assert "acc/s now" in rendered
+
+    def test_non_trace_cells_render_a_dash(self, mini_doc):
+        report = compare(mini_doc, mini_doc)
+        assert all(row["accesses_per_s"] is None
+                   for row in report["rows"])
+        lines = format_compare(report).splitlines()
+        header = lines[0]
+        assert "acc/s" in header
+
+
 class TestCompareGate:
     def test_identical_documents_pass(self, mini_doc):
         report = compare(mini_doc, mini_doc)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import HardwareFault, PageFault, SegmentationFault
-from repro.hardware.bus import MemoryBus
+from repro.hardware.bus import MAX_FAULT_RETRIES, MemoryBus
 from repro.hardware.mmu import Prot
 from repro.hardware.paged_mmu import PagedMMU
 from repro.hardware.physmem import PhysicalMemory
@@ -46,6 +46,37 @@ class TestStraightAccess:
         _, _, bus, space = rig
         with pytest.raises(PageFault):
             bus.read(space, 0, 1)
+
+    def test_zero_length_read_touches_nothing(self, rig):
+        # A zero-byte read of an unmapped address must neither fault
+        # nor translate — but it is still a bus transaction, so the
+        # read counter moves (matching the scalar accounting).
+        _, _, bus, space = rig
+        assert bus.read(space, 0x5000, 0) == b""
+        assert bus.stats.get("reads") == 1
+        assert bus.stats.get("faults") == 0
+
+    def test_zero_length_write_touches_nothing(self, rig):
+        _, _, bus, space = rig
+        bus.write(space, 0x5000, b"")
+        assert bus.stats.get("writes") == 1
+        assert bus.stats.get("faults") == 0
+
+    def test_access_spans_three_pages(self, rig):
+        # A span strictly wider than two pages: the middle pages are
+        # covered end to end, the edges partially (the unaligned
+        # start pushes the tail 50 bytes into a fourth page).
+        mem, mmu, bus, space = rig
+        frames = [mem.allocate_frame(zero=True) for _ in range(4)]
+        for index, frame in enumerate(frames):
+            mmu.map(space, index * PAGE, frame, Prot.RW)
+        payload = bytes(index % 251 for index in range(2 * PAGE + 100))
+        bus.write(space, PAGE - 50, payload)
+        assert bus.read(space, PAGE - 50, len(payload)) == payload
+        # The middle frame holds a full page of the payload.
+        assert mem.read_frame(frames[1]) == payload[50:50 + PAGE]
+        assert bus.stats.get("reads") == 1
+        assert bus.stats.get("writes") == 1
 
 
 class TestFaultDispatch:
@@ -95,6 +126,28 @@ class TestFaultDispatch:
         bus.install_fault_handler(lambda fault: None)
         with pytest.raises(HardwareFault, match="not resolved"):
             bus.read(space, 0, 1)
+
+    def test_retries_are_bounded_and_counted(self, rig):
+        # The trap/resolve/retry loop gives a broken handler exactly
+        # MAX_FAULT_RETRIES chances before declaring it wedged.
+        _, _, bus, space = rig
+        calls = []
+        bus.install_fault_handler(calls.append)
+        with pytest.raises(HardwareFault, match="not resolved"):
+            bus.read(space, 0, 1)
+        assert len(calls) == MAX_FAULT_RETRIES
+        assert bus.stats.get("faults") == MAX_FAULT_RETRIES
+
+    def test_span_retry_budget_scales_with_pages(self, rig):
+        # A multi-page span restarts its batch on every trap, so its
+        # budget is MAX_FAULT_RETRIES per page — a handler that stalls
+        # forever still terminates, after retries × pages dispatches.
+        _, _, bus, space = rig
+        calls = []
+        bus.install_fault_handler(calls.append)
+        with pytest.raises(HardwareFault, match="not resolved"):
+            bus.read(space, 0, 3 * PAGE)
+        assert len(calls) == MAX_FAULT_RETRIES * 3
 
     def test_touch_write_faults_for_write(self, rig):
         mem, mmu, bus, space = rig

@@ -9,7 +9,10 @@ must stay backend-agnostic, and mappers (repro.segments) may depend
 only on the cache-subsystem interfaces.  The extent primitives
 (repro.extents) are a leaf shared by layers that may not import each
 other, so they import neither backends nor hardware nor the cache
-subsystem.  The checker must both pass
+subsystem.  Hardware itself (repro.hardware, including the vectorized
+access path repro.hardware.vbus) is the bottom of the stack: it may
+import only the leaf/utility layers (errors, units, kernel, extents,
+fastpath), never a backend, the engine or obs.  The checker must both pass
 on the real tree and demonstrably fail on a deliberately-introduced
 violation — a green light from a checker that can't turn red proves
 nothing.
@@ -257,6 +260,44 @@ class TestDetectsViolations:
         _make_tree(tmp_path, {
             "pressure/arbiter.py":
                 "from repro.obs.metrics import series_name\n",
+        })
+        assert check_layers(tmp_path) == []
+
+    def test_hardware_importing_a_backend_fails(self, tmp_path):
+        # Rule 9: the vectorized access path (and every other hardware
+        # module) sits at the bottom of the stack — reaching up into a
+        # manager would invert the layering.
+        _make_tree(tmp_path, {
+            "hardware/vbus.py": "from repro.pvm.pvm import "
+                                "PagedVirtualMemory\n",
+        })
+        violations = check_layers(tmp_path)
+        assert [(m, i) for m, i, _ in violations] == \
+            [("repro.hardware.vbus", "repro.pvm.pvm")]
+        assert "bottom of the stack" in violations[0][2]
+
+    def test_hardware_importing_the_engine_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "hardware/vbus.py": "import repro.engine.faults\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_hardware_importing_obs_fails(self, tmp_path):
+        _make_tree(tmp_path, {
+            "hardware/tlb.py":
+                "from repro.obs.metrics import MetricsRegistry\n",
+        })
+        assert len(check_layers(tmp_path)) == 1
+
+    def test_hardware_may_import_the_leaf_layers(self, tmp_path):
+        _make_tree(tmp_path, {
+            "hardware/vbus.py": (
+                "from repro.errors import InvalidOperation\n"
+                "from repro.fastpath import get_numpy\n"
+                "from repro.hardware.mmu import MMU\n"
+                "from repro.kernel.stats import EventCounter\n"
+                "from repro.extents import RunMap\n"
+            ),
         })
         assert check_layers(tmp_path) == []
 

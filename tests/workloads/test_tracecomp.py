@@ -1,0 +1,144 @@
+"""Unit tests for the trace compiler and the ``.vmtrace`` format.
+
+The columnar generators must be access-for-access identical to their
+scalar twins in repro.workloads.traces (same seed, same RNG draw
+order), and a save/load round trip must be exact on either engine —
+numpy and the stdlib fallback read the same bytes.
+"""
+
+import pytest
+
+from repro.errors import InvalidOperation
+from repro.fastpath import numpy_available
+from repro.workloads import tracecomp
+from repro.workloads.tracecomp import (
+    MAGIC, VERSION, CompiledTrace, compile_trace, load_trace, save_trace,
+)
+from repro.workloads.traces import (
+    loop_trace, phase_trace, uniform_trace, zipf_trace,
+)
+
+ENGINES = [pytest.param(False, id="python")]
+if numpy_available():
+    ENGINES.insert(0, pytest.param(True, id="numpy"))
+
+TWINS = [
+    ("uniform", uniform_trace, tracecomp.uniform_columns, {}),
+    ("zipf", zipf_trace, tracecomp.zipf_columns, {"skew": 1.4}),
+    ("loop", loop_trace, tracecomp.loop_columns, {"write_ratio": 0.2}),
+    ("phase", phase_trace, tracecomp.phase_columns,
+     {"phases": 3, "locality": 5}),
+]
+
+
+class TestCompile:
+    @pytest.mark.parametrize("use_numpy", ENGINES)
+    def test_round_trips_a_scalar_trace(self, use_numpy):
+        scalar = [(3, True), (0, False), (7, True), (3, False)]
+        compiled = compile_trace(scalar, use_numpy=use_numpy)
+        assert len(compiled) == 4
+        assert compiled.to_accesses() == scalar
+        assert list(compiled) == scalar
+        assert compiled.backend == ("numpy" if use_numpy else "python")
+        assert compiled.nbytes == 9 * 4
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(InvalidOperation, match="length mismatch"):
+            CompiledTrace([1, 2, 3], b"\x00\x01")
+        with pytest.raises(InvalidOperation, match="length mismatch"):
+            CompiledTrace([1, 2], b"\x00\x01", spaces=[5])
+
+    def test_spaces_column_raises_nbytes(self):
+        compiled = CompiledTrace([1, 2], b"\x00\x01", spaces=[5, 5])
+        assert compiled.nbytes == 17 * 2
+
+    @pytest.mark.parametrize("use_numpy", ENGINES)
+    @pytest.mark.parametrize("name,scalar_gen,column_gen,kwargs",
+                             TWINS, ids=[t[0] for t in TWINS])
+    def test_columnar_generators_match_their_scalar_twins(
+            self, use_numpy, name, scalar_gen, column_gen, kwargs):
+        scalar = scalar_gen(32, 500, seed=9, **kwargs)
+        columns = column_gen(32, 500, seed=9, use_numpy=use_numpy,
+                             **kwargs)
+        assert columns.to_accesses() == scalar
+
+    def test_engine_choice_never_changes_content(self):
+        if not numpy_available():
+            pytest.skip("needs numpy to compare engines")
+        fast = tracecomp.zipf_columns(64, 300, seed=3, use_numpy=True)
+        slow = tracecomp.zipf_columns(64, 300, seed=3, use_numpy=False)
+        assert fast.to_accesses() == slow.to_accesses()
+
+
+class TestVmtraceFormat:
+    @pytest.mark.parametrize("use_numpy", ENGINES)
+    def test_save_load_round_trip(self, tmp_path, use_numpy):
+        trace = tracecomp.phase_columns(40, 200, seed=5,
+                                        use_numpy=use_numpy)
+        path = tmp_path / "t.vmtrace"
+        size = save_trace(trace, str(path))
+        assert size == path.stat().st_size == 16 + 9 * 200
+        loaded = load_trace(str(path), use_numpy=use_numpy)
+        assert loaded.to_accesses() == trace.to_accesses()
+
+    def test_scalar_input_is_compiled_on_save(self, tmp_path):
+        scalar = [(5, False), (1, True)]
+        path = tmp_path / "t.vmtrace"
+        save_trace(scalar, str(path))
+        assert load_trace(str(path)).to_accesses() == scalar
+
+    @pytest.mark.parametrize("use_numpy", ENGINES)
+    def test_spaces_column_survives_the_disk(self, tmp_path, use_numpy):
+        from array import array
+        base = compile_trace([(1, True), (2, False)],
+                             use_numpy=use_numpy)
+        if use_numpy:
+            import numpy
+            spaces = numpy.array([7, 9], dtype=numpy.int64)
+        else:
+            spaces = array("q", [7, 9])
+        trace = CompiledTrace(base.pages, base.writes, spaces=spaces,
+                              backend=base.backend)
+        path = tmp_path / "t.vmtrace"
+        save_trace(trace, str(path))
+        loaded = load_trace(str(path), use_numpy=use_numpy)
+        assert list(loaded.spaces) == [7, 9]
+        assert loaded.to_accesses() == [(1, True), (2, False)]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.vmtrace"
+        path.write_bytes(b"NOPE" + bytes(12))
+        with pytest.raises(InvalidOperation, match="bad magic"):
+            load_trace(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "t.vmtrace"
+        from repro.workloads.tracecomp import _HEADER
+        path.write_bytes(_HEADER.pack(MAGIC, VERSION + 1, 0, 0, 0))
+        with pytest.raises(InvalidOperation, match="version"):
+            load_trace(str(path))
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "t.vmtrace"
+        trace = compile_trace([(1, False)] * 10, use_numpy=False)
+        save_trace(trace, str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        with pytest.raises(InvalidOperation, match="truncated"):
+            load_trace(str(path))
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "t.vmtrace"
+        path.write_bytes(MAGIC)
+        with pytest.raises(InvalidOperation, match="truncated"):
+            load_trace(str(path))
+
+    def test_numpy_and_python_read_identically(self, tmp_path):
+        if not numpy_available():
+            pytest.skip("needs numpy to compare engines")
+        path = tmp_path / "t.vmtrace"
+        save_trace(tracecomp.uniform_columns(50, 100, seed=2), str(path))
+        fast = load_trace(str(path), use_numpy=True)
+        slow = load_trace(str(path), use_numpy=False)
+        assert fast.backend == "numpy" and slow.backend == "python"
+        assert fast.to_accesses() == slow.to_accesses()

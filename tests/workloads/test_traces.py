@@ -81,3 +81,43 @@ class TestReplay:
         nucleus = costmodel.chorus_nucleus(memory_size=32 * PAGE)
         replay(nucleus, uniform_trace(8, 50, seed=1), pages=8)
         assert len(nucleus.actors) == 0
+
+
+class TestVectorizedReplay:
+    def test_matches_scalar_result_under_pressure(self):
+        # Same trace, twin nuclei: the vectorized path must report
+        # identical fault statistics and virtual time even when the
+        # working set evicts (tests/property/test_vbus_parity.py pins
+        # the full observational equivalence; this is the replay()
+        # wiring).
+        trace = zipf_trace(32, 400, seed=6)
+        scalar = replay(costmodel.chorus_nucleus(memory_size=16 * PAGE),
+                        trace, pages=32, prewarm=True)
+        vector = replay(costmodel.chorus_nucleus(memory_size=16 * PAGE),
+                        trace, pages=32, prewarm=True, vectorized=True)
+        assert vector == scalar
+        assert vector.faults > 0
+
+    def test_accepts_a_compiled_trace(self):
+        from repro.workloads.tracecomp import zipf_columns
+        compiled = zipf_columns(16, 300, seed=4)
+        nucleus = costmodel.chorus_nucleus(memory_size=64 * PAGE)
+        result = replay(nucleus, compiled, pages=16, prewarm=True,
+                        vectorized=True)
+        assert result.accesses == 300
+        assert result.faults == 0
+        assert len(nucleus.actors) == 0
+
+    def test_unaligned_base_rejected(self):
+        from repro.errors import InvalidOperation
+        nucleus = costmodel.chorus_nucleus(memory_size=32 * PAGE)
+        with pytest.raises(InvalidOperation, match="page-aligned"):
+            replay(nucleus, [(0, False)], pages=1, base=0x100080,
+                   vectorized=True)
+
+    def test_records_the_access_gauge(self):
+        nucleus = costmodel.chorus_nucleus(memory_size=32 * PAGE)
+        replay(nucleus, loop_trace(8, 120, seed=2), pages=8,
+               vectorized=True)
+        registry = nucleus.vm.probe.registry
+        assert registry.gauge_value("trace.accesses") == 120.0
